@@ -1,0 +1,121 @@
+// Command darco-bench regenerates the paper's evaluation (§VI): the
+// emulation/simulation speed table, Figs. 4–7, and the warm-up case
+// study. Each experiment prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	darco-bench -exp all
+//	darco-bench -exp fig4 -scale 1.0
+//	darco-bench -exp warmup -bench 429.mcf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	darco "darco"
+	"darco/internal/experiments"
+	"darco/internal/warmup"
+	"darco/internal/workload"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: speed|fig4|fig5|fig6|fig7|warmup|startup|all")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor")
+		benchName = flag.String("bench", "429.mcf", "benchmark for speed/warmup experiments")
+	)
+	flag.Parse()
+
+	needSuites := false
+	switch *exp {
+	case "fig4", "fig5", "fig6", "fig7", "all":
+		needSuites = true
+	}
+
+	var rs []experiments.BenchResult
+	if needSuites {
+		fmt.Fprintf(os.Stderr, "running %d benchmarks at scale %.2f...\n", len(workload.Suites()), *scale)
+		var err error
+		rs, err = experiments.RunSuites(*scale, darco.DefaultConfig())
+		if err != nil {
+			fatalf("suites: %v", err)
+		}
+	}
+
+	show := func(name string) bool { return *exp == name || *exp == "all" }
+
+	if show("speed") {
+		p, ok := workload.ByName(*benchName)
+		if !ok {
+			fatalf("unknown workload %q", *benchName)
+		}
+		rows, err := experiments.TableSpeed(p, *scale)
+		if err != nil {
+			fatalf("speed: %v", err)
+		}
+		fmt.Println("Table (§VI-A): DARCO speed")
+		fmt.Printf("%-24s%14s%14s%12s\n", "configuration", "guest MIPS", "host MIPS", "wall")
+		for _, r := range rows {
+			fmt.Printf("%-24s%14.2f%14.2f%12s\n", r.Config, r.GuestMIPS, r.HostMIPS, r.Wall.Round(1e6))
+		}
+		fmt.Println()
+	}
+	if show("fig4") {
+		fmt.Print(experiments.Fig4(rs).Format(), "\n")
+	}
+	if show("fig5") {
+		fmt.Print(experiments.Fig5(rs).Format(), "\n")
+	}
+	if show("fig6") {
+		fmt.Print(experiments.Fig6(rs).Format(), "\n")
+	}
+	if show("fig7") {
+		fmt.Print(experiments.Fig7(rs).Format(), "\n")
+	}
+	if show("startup") {
+		p, ok := workload.ByName(*benchName)
+		if !ok {
+			fatalf("unknown workload %q", *benchName)
+		}
+		rows, err := experiments.StartupDelay(p, 100_000, *scale)
+		if err != nil {
+			fatalf("startup: %v", err)
+		}
+		fmt.Println("Startup delay (§III): host cycles to retire the first 100k guest instructions")
+		fmt.Printf("%14s%14s%12s%12s%10s\n", "bb-threshold", "sb-threshold", "cycles", "CPGI", "IM %")
+		for _, r := range rows {
+			fmt.Printf("%14d%14d%12d%12.2f%10.1f\n", r.BBThreshold, r.SBThreshold, r.Cycles, r.CPGI, 100*r.IMShare)
+		}
+		fmt.Println()
+	}
+	if show("warmup") {
+		p, ok := workload.ByName(*benchName)
+		if !ok {
+			fatalf("unknown workload %q", *benchName)
+		}
+		im, err := p.Scale(*scale).Generate()
+		if err != nil {
+			fatalf("warmup: %v", err)
+		}
+		st, err := warmup.RunStudy(im, warmup.DefaultConfig())
+		if err != nil {
+			fatalf("warmup: %v", err)
+		}
+		fmt.Printf("Case study (§VI-E): warm-up methodology on %s (%d guest insns)\n", p.Name, st.TotalGuest)
+		fmt.Printf("full detailed simulation: CPGI %.3f, cost %.0f insns\n", st.FullCPGI, st.FullCost)
+		fmt.Printf("%8s%10s%10s%10s%12s%12s\n", "scale", "warm-len", "err %", "reduction", "similarity", "CPGI")
+		for _, c := range st.Candidates {
+			fmt.Printf("%8d%10d%10.2f%10.1fx%12.4f%12.3f\n",
+				c.Scale, c.WarmLen, c.ErrorPct, c.Reduction, c.Similarity, c.CPGI)
+		}
+		fmt.Printf("heuristic pick: scale %d, warm-up %d -> %.2f%% error at %.1fx cost reduction\n",
+			st.Chosen.Scale, st.Chosen.WarmLen, st.Chosen.ErrorPct, st.Chosen.Reduction)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "darco-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

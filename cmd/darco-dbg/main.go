@@ -1,0 +1,75 @@
+// Command darco-dbg demonstrates DARCO's debug toolchain (§V-D): it runs
+// a workload in lockstep with the authoritative emulator, validating the
+// co-designed state after every TOL dispatch. With -inject it plants a
+// translator bug (an Add corrupted into a Sub in large regions) and the
+// debugger pinpoints the faulty region and the pipeline stage.
+//
+// Usage:
+//
+//	darco-dbg -bench 429.mcf -scale 0.05            # clean lockstep run
+//	darco-dbg -bench 429.mcf -scale 0.05 -inject    # find the planted bug
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"darco/internal/controller"
+	"darco/internal/debug"
+	"darco/internal/ir"
+	"darco/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "429.mcf", "named workload to debug")
+		scale     = flag.Float64("scale", 0.05, "workload scale factor (lockstep is slow)")
+		inject    = flag.Bool("inject", false, "plant a translator bug to find")
+		minLen    = flag.Int("inject-minlen", 40, "minimum region size the planted bug corrupts")
+		listing   = flag.Bool("listing", false, "print the faulty region's IR and host code")
+	)
+	flag.Parse()
+
+	p, ok := workload.ByName(*benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "darco-dbg: unknown workload %q\n", *benchName)
+		os.Exit(1)
+	}
+	im, err := p.Scale(*scale).Generate()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darco-dbg: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := controller.DefaultConfig()
+	if *inject {
+		cfg.TOL.MutateRegion = func(r *ir.Region) {
+			if len(r.Code) < *minLen {
+				return
+			}
+			for i := range r.Code {
+				in := &r.Code[i]
+				if in.Op == ir.Add && in.A != 0 && in.B != 0 {
+					in.Op = ir.Sub
+					return
+				}
+			}
+		}
+	}
+
+	rep, err := debug.Locate(im, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darco-dbg: %v\n", err)
+		os.Exit(1)
+	}
+	if rep == nil {
+		fmt.Println("lockstep run clean: every dispatch validated against the authoritative state")
+		return
+	}
+	fmt.Println(rep)
+	if *listing {
+		fmt.Println(rep.Listing)
+	}
+	os.Exit(2)
+}

@@ -1,0 +1,97 @@
+// Command darco runs a guest program (a named benchmark or a GISA
+// assembly file) on the full co-designed processor stack: TOL
+// translation/optimization, state validation against the authoritative
+// emulator, and optionally the timing and power simulators.
+//
+// Usage:
+//
+//	darco -bench 429.mcf                      # named workload, functional
+//	darco -bench 470.lbm -timing -power       # with simulators
+//	darco -asm prog.s -timing                 # assemble and run a file
+//	darco -list                               # list available workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	darco "darco"
+	"darco/internal/guest"
+	"darco/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "named workload to run (see -list)")
+		asmFile   = flag.String("asm", "", "GISA assembly file to assemble and run")
+		scale     = flag.Float64("scale", 1.0, "workload dynamic-size scale factor")
+		useTiming = flag.Bool("timing", false, "attach the timing simulator")
+		usePower  = flag.Bool("power", false, "attach the power model (implies -timing)")
+		validate  = flag.Int("validate", 1, "validate state every N synchronizations (0 = end only)")
+		bbThresh  = flag.Uint("bb-threshold", 0, "override BBM promotion threshold")
+		sbThresh  = flag.Uint64("sb-threshold", 0, "override SBM promotion threshold")
+		list      = flag.Bool("list", false, "list available workloads and exit")
+		showOut   = flag.Bool("output", false, "print the guest program's output bytes")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Suites() {
+			fmt.Printf("%-18s %s\n", p.Name, p.Suite)
+		}
+		return
+	}
+
+	var im *guest.Image
+	var err error
+	switch {
+	case *benchName != "":
+		p, ok := workload.ByName(*benchName)
+		if !ok {
+			fatalf("unknown workload %q (try -list)", *benchName)
+		}
+		im, err = p.Scale(*scale).Generate()
+	case *asmFile != "":
+		src, rerr := os.ReadFile(*asmFile)
+		if rerr != nil {
+			fatalf("read %s: %v", *asmFile, rerr)
+		}
+		im, err = guest.Assemble(string(src))
+	default:
+		fatalf("one of -bench or -asm is required (or -list)")
+	}
+	if err != nil {
+		fatalf("build program: %v", err)
+	}
+
+	cfg := darco.DefaultConfig()
+	if *usePower {
+		cfg = darco.FullConfig()
+	} else if *useTiming {
+		cfg = darco.TimingConfig()
+	}
+	cfg.ValidateEveryNSyncs = *validate
+	if *bbThresh > 0 {
+		cfg.TOL.BBThreshold = uint32(*bbThresh)
+	}
+	if *sbThresh > 0 {
+		cfg.TOL.SBThreshold = *sbThresh
+	}
+
+	res, err := darco.Run(im, cfg)
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+	fmt.Print(res.Summary())
+	fmt.Printf("validation    %d state comparisons, %d page transfers, %d syscall syncs\n",
+		res.Validations, res.PageTransfers, res.SyscallSyncs)
+	if *showOut {
+		fmt.Printf("output        %x\n", res.Output)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "darco: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+// Package darco is a from-scratch Go reproduction of DARCO, the
+// simulation infrastructure for HW/SW co-designed processors presented
+// in "HW/SW Co-designed Processors: Challenges, Design Choices and a
+// Simulation Infrastructure for Evaluation" (Kumar et al., ISPASS 2017).
+//
+// A HW/SW co-designed processor couples a simple host core to a software
+// layer — the Translation Optimization Layer (TOL) — that dynamically
+// translates and optimizes guest binaries for the host ISA. DARCO models
+// the whole system:
+//
+//   - a guest CISC ISA with an authoritative functional emulator
+//     (internal/guest, internal/guestvm),
+//   - a PowerPC-like RISC host ISA and its emulator with the co-design
+//     extensions — asserts, speculative memory, checkpoint/commit
+//     (internal/host, internal/hostvm),
+//   - the TOL with three execution modes (interpretation, basic-block
+//     translation, superblock optimization), an SSA optimizer, DDG-based
+//     scheduling, linear-scan register allocation, chaining and an IBTC
+//     (internal/tol, internal/ir, internal/codecache),
+//   - the controller that synchronizes and validates the co-designed
+//     state against the authoritative emulator (internal/controller),
+//   - a parameterized in-order timing simulator and an event-energy
+//     power model (internal/timing, internal/power),
+//   - synthetic SPEC CPU2006 / Physicsbench workload generators
+//     (internal/workload) and the warm-up simulation methodology of the
+//     paper's case study (internal/warmup).
+//
+// This package is the public facade: build or pick a workload, configure
+// the system, and Run it.
+//
+//	im, _ := workload.MustProfile("429.mcf").Generate()
+//	res, err := darco.Run(im, darco.DefaultConfig())
+//	fmt.Println(res.Summary())
+package darco

@@ -1,0 +1,127 @@
+// Optimization pipeline walkthrough: translate one hot region by hand
+// and print the IR after each stage of the TOL's superblock optimizer —
+// SSA construction, the forward pass, CSE, DCE, the DDG memory phase,
+// list scheduling — and the final host code with its pinned-register
+// writebacks, asserts and commit points.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	darco "darco"
+	"darco/internal/guest"
+	"darco/internal/ir"
+)
+
+const program = `
+.org 0x1000
+.entry start
+start:
+    movri ebp, 0x10000
+    movri ecx, 0
+    movri ebx, 0
+loop:
+    loadx eax, [ebp+ecx<<2+0]   ; a[i]
+    imulri eax, 3
+    addri eax, 100
+    addri eax, 28               ; constant folding fodder
+    storex [ebp+ecx<<2+4096], eax
+    loadx edx, [ebp+ecx<<2+0]   ; redundant load (same address)
+    addrr ebx, edx
+    inc ecx
+    cmpri ecx, 5000
+    jl loop
+    movri eax, 1
+    movri ebx, 0
+    syscall
+    halt
+`
+
+func main() {
+	im, err := guest.Assemble(program)
+	if err != nil {
+		log.Fatalf("assemble: %v", err)
+	}
+
+	// Run the program far enough that the loop reaches superblock mode,
+	// then pull the hot region out of the code cache for inspection.
+	cfg := darco.DefaultConfig()
+	res, err := darco.Run(im, cfg)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	fmt.Print(res.Summary(), "\n")
+
+	// Rebuild the same region standalone to show the pipeline stages.
+	loopPC := im.Labels["loop"]
+	region := buildDemoRegion(loopPC)
+	fmt.Println("=== IR as translated (SSA by construction, lazy flags) ===")
+	fmt.Print(region.String())
+
+	folded := region.ForwardPass()
+	csed := region.CSE()
+	dced := region.DCE()
+	fmt.Printf("=== after forward pass (+%d folds), CSE (+%d), DCE (+%d) ===\n", folded, csed, dced)
+	fmt.Print(region.String())
+
+	mem := region.MemOpt()
+	fmt.Printf("=== after DDG memory phase (RLE %d, dead stores %d) ===\n",
+		mem.LoadsEliminated, mem.StoresEliminated)
+	g := region.BuildDDG()
+	sched := region.Schedule(g, 12)
+	fmt.Printf("=== after list scheduling (makespan %d, %d speculative loads) ===\n",
+		sched.Length, sched.SpecLoads)
+	fmt.Print(region.String())
+
+	alloc := region.Allocate()
+	gen, err := region.Generate(alloc)
+	if err != nil {
+		log.Fatalf("codegen: %v", err)
+	}
+	fmt.Printf("=== host code (%d instructions, %d spills) ===\n", len(gen.Code), gen.Spills)
+	for i := range gen.Code {
+		fmt.Printf("  %3d: %s\n", i, gen.Code[i].String())
+	}
+}
+
+// buildDemoRegion hand-constructs the IR the TOL frontend would emit for
+// one iteration of the loop body with the branch converted to an assert
+// (a single-entry single-exit superblock iteration).
+func buildDemoRegion(entry uint32) *ir.Region {
+	r := &ir.Region{Entry: entry, UseAsserts: true}
+	v := func() ir.ValueID { return r.NewValue() }
+	emit := func(in ir.Inst) ir.ValueID {
+		if in.Dst == -1 {
+			in.Dst = v()
+		}
+		r.Emit(in)
+		return in.Dst
+	}
+	ebp := emit(ir.Inst{Op: ir.LiveIn, Dst: -1, Arch: ir.ArchEBP})
+	ecx := emit(ir.Inst{Op: ir.LiveIn, Dst: -1, Arch: ir.ArchECX})
+	ebx := emit(ir.Inst{Op: ir.LiveIn, Dst: -1, Arch: ir.ArchEBX})
+	c2 := emit(ir.Inst{Op: ir.ConstI, Dst: -1, ImmU: 2})
+	idx := emit(ir.Inst{Op: ir.Shl, Dst: -1, A: ecx, B: c2})
+	ea := emit(ir.Inst{Op: ir.Add, Dst: -1, A: ebp, B: idx})
+	a := emit(ir.Inst{Op: ir.Ld32, Dst: -1, A: ea})
+	c3 := emit(ir.Inst{Op: ir.ConstI, Dst: -1, ImmU: 3})
+	m := emit(ir.Inst{Op: ir.Mul, Dst: -1, A: a, B: c3})
+	c100 := emit(ir.Inst{Op: ir.ConstI, Dst: -1, ImmU: 100})
+	s1 := emit(ir.Inst{Op: ir.Add, Dst: -1, A: m, B: c100})
+	c28 := emit(ir.Inst{Op: ir.ConstI, Dst: -1, ImmU: 28})
+	s2 := emit(ir.Inst{Op: ir.Add, Dst: -1, A: s1, B: c28})
+	emit(ir.Inst{Op: ir.St32, A: ea, Off: 4096, B: s2})
+	a2 := emit(ir.Inst{Op: ir.Ld32, Dst: -1, A: ea}) // redundant load
+	nbx := emit(ir.Inst{Op: ir.Add, Dst: -1, A: ebx, B: a2})
+	c1 := emit(ir.Inst{Op: ir.ConstI, Dst: -1, ImmU: 1})
+	ncx := emit(ir.Inst{Op: ir.Add, Dst: -1, A: ecx, B: c1})
+	c5000 := emit(ir.Inst{Op: ir.ConstI, Dst: -1, ImmU: 5000})
+	le := emit(ir.Inst{Op: ir.Slt, Dst: -1, A: ncx, B: c5000})
+	emit(ir.Inst{Op: ir.Assert, A: le}) // speculated loop-back branch
+	emit(ir.Inst{Op: ir.Exit, ImmU: entry, State: []ir.ArchVal{
+		{Arch: ir.ArchECX, Val: ncx},
+		{Arch: ir.ArchEBX, Val: nbx},
+	}})
+	return r
+}

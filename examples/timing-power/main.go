@@ -1,0 +1,52 @@
+// Timing and power study: run a floating-point workload on the attached
+// timing simulator and event-energy power model, then sweep the issue
+// width to explore the paper's "wide in-order or narrow out-of-order"
+// design question (§III) from the in-order side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	darco "darco"
+	"darco/internal/workload"
+)
+
+func main() {
+	p, ok := workload.ByName("470.lbm")
+	if !ok {
+		log.Fatal("workload missing")
+	}
+	im, err := p.Scale(0.4).Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== 470.lbm on the default 2-wide in-order co-designed core ===")
+	res, err := darco.Run(im, darco.FullConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Summary())
+	fmt.Println("\npower by component:")
+	for _, comp := range []string{"frontend", "issue+regfile", "alu", "lsu", "l2", "dram", "tol"} {
+		fmt.Printf("  %-14s %.4g J\n", comp, res.Power.ByComponent[comp])
+	}
+
+	fmt.Println("\n=== issue-width sweep (wide in-order trade-off) ===")
+	fmt.Printf("%8s%12s%12s%14s%14s\n", "width", "cycles", "IPC", "avg power W", "energy J")
+	for _, width := range []int{1, 2, 4, 8} {
+		cfg := darco.FullConfig()
+		cfg.Timing.FetchWidth = width
+		cfg.Timing.IssueWidth = width
+		cfg.Timing.SimpleUnits = width
+		cfg.Timing.ComplexUnits = (width + 1) / 2
+		cfg.Timing.MemReadPorts = (width + 1) / 2
+		r, err := darco.Run(im, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d%12d%12.3f%14.3f%14.4g\n",
+			width, r.Timing.Cycles, r.Timing.IPC(), r.Power.AvgPowerW, r.Power.TotalJ)
+	}
+}

@@ -1,0 +1,224 @@
+// Package codecache implements the translation code cache of the
+// co-designed processor: translated blocks indexed by guest entry PC,
+// block chaining (including unchaining on invalidation), and
+// capacity-triggered flushes.
+package codecache
+
+import (
+	"fmt"
+
+	"darco/internal/host"
+)
+
+// BlockKind distinguishes the two translated region shapes.
+type BlockKind uint8
+
+// Block kinds.
+const (
+	KindBB BlockKind = iota
+	KindSuperblock
+)
+
+func (k BlockKind) String() string {
+	if k == KindSuperblock {
+		return "superblock"
+	}
+	return "bb"
+}
+
+// Block is one translated region resident in the code cache.
+type Block struct {
+	ID         int
+	Entry      uint32 // guest PC of the region's single entry
+	Kind       BlockKind
+	Code       []host.Inst
+	UseAsserts bool // single-entry single-exit superblock (speculated control flow)
+	Unrolled   int  // loop unroll factor applied (0 or 1 = none)
+
+	GuestInsns int      // static guest instructions covered
+	BBs        []uint32 // entry PCs of the constituent guest basic blocks
+
+	// ExitMeta describes each exit site (EXIT/CHAINED/EXITIND
+	// instruction index) of the block: how many guest instructions and
+	// guest basic blocks retire when leaving through it, and whether it
+	// corresponds to the taken direction of the terminating branch.
+	ExitMeta map[int]ExitInfo
+
+	// Software profiling counters maintained by the translated code
+	// (their cost is part of the emitted block, not TOL overhead).
+	ExecCount   uint64
+	ExitCounts  map[int]uint64 // executions leaving via each exit site
+	AssertFails uint64
+	SpecFails   uint64
+
+	// incoming records chained exits from other blocks targeting this
+	// block, so invalidation can unchain them.
+	incoming []exitRef
+}
+
+// ExitInfo is the translator-recorded retirement metadata of one exit.
+type ExitInfo struct {
+	GuestInsns int  // guest instructions retired on the path to this exit
+	GuestBBs   int  // guest basic blocks retired on the path to this exit
+	Taken      bool // exit corresponds to the taken branch direction
+}
+
+// CountExit bumps the software exit counter for the exit at instIdx.
+func (b *Block) CountExit(instIdx int) {
+	if b.ExitCounts == nil {
+		b.ExitCounts = make(map[int]uint64)
+	}
+	b.ExitCounts[instIdx]++
+}
+
+type exitRef struct {
+	blockID int
+	instIdx int
+}
+
+// Cache is the code cache. Capacity is expressed in host instructions;
+// exceeding it flushes the whole cache (the strategy production
+// translators like Dynamo use, and the simplest correct one).
+type Cache struct {
+	Capacity int
+
+	blocks  map[int]*Block
+	byEntry map[uint32]*Block
+	nextID  int
+	used    int
+
+	// Statistics.
+	Inserts     uint64
+	Invalidates uint64
+	Flushes     uint64
+	ChainsMade  uint64
+	ChainsCut   uint64
+}
+
+// DefaultCapacity is the default code cache size in host instructions
+// (roughly a 10 MB cache at 4 bytes per instruction).
+const DefaultCapacity = 1 << 21
+
+// New returns an empty cache with the given capacity (0 = default).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		Capacity: capacity,
+		blocks:   make(map[int]*Block),
+		byEntry:  make(map[uint32]*Block),
+	}
+}
+
+// Used reports resident host instructions.
+func (c *Cache) Used() int { return c.used }
+
+// Len reports the number of resident blocks.
+func (c *Cache) Len() int { return len(c.blocks) }
+
+// Lookup finds the block translated for guest PC entry.
+func (c *Cache) Lookup(entry uint32) (*Block, bool) {
+	b, ok := c.byEntry[entry]
+	return b, ok
+}
+
+// Get returns a block by id.
+func (c *Cache) Get(id int) (*Block, bool) {
+	b, ok := c.blocks[id]
+	return b, ok
+}
+
+// Insert adds a block, replacing (and invalidating) any previous
+// translation with the same guest entry — the paper's behaviour when a
+// superblock supersedes the basic-block translation of its head. It
+// reports whether a capacity flush occurred.
+func (c *Cache) Insert(b *Block) (flushed bool) {
+	if len(b.Code) > c.Capacity {
+		panic(fmt.Sprintf("codecache: block of %d insns exceeds capacity %d", len(b.Code), c.Capacity))
+	}
+	if c.used+len(b.Code) > c.Capacity {
+		c.Flush()
+		flushed = true
+	}
+	if old, ok := c.byEntry[b.Entry]; ok {
+		c.Invalidate(old)
+	}
+	b.ID = c.nextID
+	c.nextID++
+	c.blocks[b.ID] = b
+	c.byEntry[b.Entry] = b
+	c.used += len(b.Code)
+	c.Inserts++
+	return flushed
+}
+
+// Invalidate removes a block and unchains every exit pointing at it.
+func (c *Cache) Invalidate(b *Block) {
+	if _, ok := c.blocks[b.ID]; !ok {
+		return
+	}
+	for _, ref := range b.incoming {
+		src, ok := c.blocks[ref.blockID]
+		if !ok {
+			continue
+		}
+		in := &src.Code[ref.instIdx]
+		if in.Op == host.CHAINED && in.Link == b.ID {
+			in.Op = host.EXIT
+			in.Link = 0
+			c.ChainsCut++
+		}
+	}
+	delete(c.blocks, b.ID)
+	if c.byEntry[b.Entry] == b {
+		delete(c.byEntry, b.Entry)
+	}
+	c.used -= len(b.Code)
+	c.Invalidates++
+}
+
+// Flush empties the cache.
+func (c *Cache) Flush() {
+	c.blocks = make(map[int]*Block)
+	c.byEntry = make(map[uint32]*Block)
+	c.used = 0
+	c.Flushes++
+}
+
+// Chain rewrites the EXIT at instIdx in src to jump directly to dst,
+// recording the back-reference for later unchaining.
+func (c *Cache) Chain(src *Block, instIdx int, dst *Block) error {
+	in := &src.Code[instIdx]
+	if in.Op != host.EXIT {
+		return fmt.Errorf("codecache: instruction %d of block %d is %v, not exit", instIdx, src.ID, in.Op)
+	}
+	if in.Target != dst.Entry {
+		return fmt.Errorf("codecache: exit targets %#x, block entry is %#x", in.Target, dst.Entry)
+	}
+	in.Op = host.CHAINED
+	in.Link = dst.ID
+	dst.incoming = append(dst.incoming, exitRef{blockID: src.ID, instIdx: instIdx})
+	c.ChainsMade++
+	return nil
+}
+
+// ExitSites returns the indices of chainable (static-target) exits in b.
+func ExitSites(b *Block) []int {
+	var out []int
+	for i := range b.Code {
+		if b.Code[i].Op == host.EXIT {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Blocks returns all resident blocks (unordered).
+func (c *Cache) Blocks() []*Block {
+	out := make([]*Block, 0, len(c.blocks))
+	for _, b := range c.blocks {
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package codecache
+
+import (
+	"testing"
+
+	"darco/internal/host"
+)
+
+func mkBlock(entry uint32, n int) *Block {
+	code := make([]host.Inst, n)
+	for i := 0; i < n-1; i++ {
+		code[i] = host.Inst{Op: host.NOPH}
+	}
+	code[n-1] = host.Inst{Op: host.EXIT, Target: entry + 100}
+	return &Block{Entry: entry, Kind: KindBB, Code: code}
+}
+
+func TestInsertLookup(t *testing.T) {
+	c := New(1000)
+	b := mkBlock(0x1000, 10)
+	if c.Insert(b) {
+		t.Errorf("unexpected flush")
+	}
+	got, ok := c.Lookup(0x1000)
+	if !ok || got != b {
+		t.Fatalf("lookup failed")
+	}
+	if _, ok := c.Lookup(0x2000); ok {
+		t.Errorf("phantom lookup")
+	}
+	if c.Used() != 10 || c.Len() != 1 {
+		t.Errorf("used=%d len=%d", c.Used(), c.Len())
+	}
+	g, ok := c.Get(b.ID)
+	if !ok || g != b {
+		t.Errorf("get by id failed")
+	}
+}
+
+func TestInsertReplacesSameEntry(t *testing.T) {
+	c := New(1000)
+	old := mkBlock(0x1000, 10)
+	c.Insert(old)
+	sb := mkBlock(0x1000, 20)
+	sb.Kind = KindSuperblock
+	c.Insert(sb)
+	got, ok := c.Lookup(0x1000)
+	if !ok || got.Kind != KindSuperblock {
+		t.Fatalf("superblock did not replace BB")
+	}
+	if _, ok := c.Get(old.ID); ok {
+		t.Errorf("old block still resident")
+	}
+	if c.Used() != 20 {
+		t.Errorf("used %d", c.Used())
+	}
+	if c.Invalidates != 1 {
+		t.Errorf("invalidates %d", c.Invalidates)
+	}
+}
+
+func TestChainAndUnchain(t *testing.T) {
+	c := New(1000)
+	a := mkBlock(0x1000, 5)
+	b := mkBlock(0x1100, 5)
+	a.Code[4].Target = 0x1100 // a's exit targets b
+	c.Insert(a)
+	c.Insert(b)
+	sites := ExitSites(a)
+	if len(sites) != 1 || sites[0] != 4 {
+		t.Fatalf("exit sites %v", sites)
+	}
+	if err := c.Chain(a, 4, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Code[4].Op != host.CHAINED || a.Code[4].Link != b.ID {
+		t.Fatalf("chain not installed: %v", a.Code[4])
+	}
+	// Invalidating b must unchain a's exit.
+	c.Invalidate(b)
+	if a.Code[4].Op != host.EXIT {
+		t.Fatalf("exit not restored: %v", a.Code[4].Op)
+	}
+	if c.ChainsCut != 1 {
+		t.Errorf("chains cut %d", c.ChainsCut)
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	c := New(1000)
+	a := mkBlock(0x1000, 5)
+	b := mkBlock(0x2000, 5)
+	c.Insert(a)
+	c.Insert(b)
+	// Exit targets 0x1100, block entry is 0x2000: mismatch.
+	if err := c.Chain(a, 4, b); err == nil {
+		t.Errorf("chain with wrong target accepted")
+	}
+	if err := c.Chain(a, 0, b); err == nil {
+		t.Errorf("chain at non-exit accepted")
+	}
+}
+
+func TestCapacityFlush(t *testing.T) {
+	c := New(25)
+	c.Insert(mkBlock(0x1000, 10))
+	c.Insert(mkBlock(0x2000, 10))
+	if c.Flushes != 0 {
+		t.Fatalf("premature flush")
+	}
+	flushed := c.Insert(mkBlock(0x3000, 10))
+	if !flushed || c.Flushes != 1 {
+		t.Fatalf("expected capacity flush")
+	}
+	if c.Len() != 1 || c.Used() != 10 {
+		t.Errorf("after flush: len=%d used=%d", c.Len(), c.Used())
+	}
+	if _, ok := c.Lookup(0x1000); ok {
+		t.Errorf("stale entry after flush")
+	}
+}
+
+func TestCountExit(t *testing.T) {
+	b := mkBlock(0x1000, 5)
+	b.CountExit(4)
+	b.CountExit(4)
+	b.CountExit(2)
+	if b.ExitCounts[4] != 2 || b.ExitCounts[2] != 1 {
+		t.Errorf("exit counts %v", b.ExitCounts)
+	}
+}
+
+func TestBlocksEnumeration(t *testing.T) {
+	c := New(1000)
+	c.Insert(mkBlock(0x1000, 5))
+	c.Insert(mkBlock(0x2000, 5))
+	if len(c.Blocks()) != 2 {
+		t.Errorf("blocks %d", len(c.Blocks()))
+	}
+}
+
+func TestOversizeBlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("oversized insert must panic")
+		}
+	}()
+	c := New(5)
+	c.Insert(mkBlock(0x1000, 10))
+}

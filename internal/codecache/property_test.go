@@ -1,0 +1,93 @@
+package codecache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCacheInvariantsUnderRandomOps drives random insert / invalidate /
+// chain / flush sequences and checks structural invariants after every
+// operation:
+//
+//   - Used() equals the sum of resident block sizes,
+//   - every Lookup result is resident under its own entry,
+//   - no CHAINED instruction links to a non-resident block
+//     (invalidation must unchain),
+//   - Len() matches the number of resident blocks.
+func TestCacheInvariantsUnderRandomOps(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		c := New(2000)
+		var live []*Block
+
+		check := func(step int) {
+			t.Helper()
+			sum := 0
+			for _, b := range c.Blocks() {
+				sum += len(b.Code)
+			}
+			if sum != c.Used() {
+				t.Fatalf("seed %d step %d: used %d, blocks sum %d", seed, step, c.Used(), sum)
+			}
+			if len(c.Blocks()) != c.Len() {
+				t.Fatalf("seed %d step %d: len mismatch", seed, step)
+			}
+			for _, b := range c.Blocks() {
+				got, ok := c.Lookup(b.Entry)
+				if !ok || got.ID != b.ID {
+					t.Fatalf("seed %d step %d: block %d not reachable via its entry", seed, step, b.ID)
+				}
+				for i := range b.Code {
+					in := &b.Code[i]
+					if in.Op.String() == "chained" {
+						if _, ok := c.Get(in.Link); !ok {
+							t.Fatalf("seed %d step %d: dangling chain %d -> %d", seed, step, b.ID, in.Link)
+						}
+					}
+				}
+			}
+		}
+
+		for step := 0; step < 300; step++ {
+			switch r.Intn(10) {
+			case 0, 1, 2, 3, 4: // insert
+				entry := uint32(0x1000 + 0x100*r.Intn(30))
+				b := mkBlock(entry, 5+r.Intn(40))
+				b.Code[len(b.Code)-1].Target = uint32(0x1000 + 0x100*r.Intn(30))
+				c.Insert(b)
+				live = append(live, b)
+			case 5, 6: // chain a random exit if possible
+				if len(live) == 0 {
+					break
+				}
+				src := live[r.Intn(len(live))]
+				if _, ok := c.Get(src.ID); !ok {
+					break
+				}
+				sites := ExitSites(src)
+				if len(sites) == 0 {
+					break
+				}
+				site := sites[r.Intn(len(sites))]
+				if dst, ok := c.Lookup(src.Code[site].Target); ok {
+					if err := c.Chain(src, site, dst); err != nil {
+						t.Fatalf("seed %d step %d: chain: %v", seed, step, err)
+					}
+				}
+			case 7, 8: // invalidate
+				if len(live) == 0 {
+					break
+				}
+				b := live[r.Intn(len(live))]
+				if _, ok := c.Get(b.ID); ok {
+					c.Invalidate(b)
+				}
+			case 9: // flush
+				if r.Intn(4) == 0 {
+					c.Flush()
+				}
+			}
+			check(step)
+		}
+	}
+}

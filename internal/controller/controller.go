@@ -1,0 +1,288 @@
+// Package controller implements DARCO's Controller: the user-facing
+// component that launches the x86 (authoritative) and co-designed
+// components, mediates the Initialization / Execution / Synchronization
+// phases, services the co-designed component's data requests (page
+// transfers), executes system calls on the authoritative side, and
+// validates the emulated architectural and memory state against the
+// authoritative state (§V-A, §V-D).
+package controller
+
+import (
+	"fmt"
+	"math"
+
+	"darco/internal/guest"
+	"darco/internal/guestvm"
+	"darco/internal/tol"
+)
+
+// MismatchError reports a divergence between the co-designed and
+// authoritative states detected during validation.
+type MismatchError struct {
+	What     string // "register", "flags", "memory", "eip"
+	Detail   string
+	GuestBBs uint64 // dynamic basic blocks at detection
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("state mismatch after %d BBs: %s: %s", e.GuestBBs, e.What, e.Detail)
+}
+
+// Config parameterises a run.
+type Config struct {
+	TOL tol.Config
+	// ValidateEveryNSyncs additionally compares full state at every
+	// N-th synchronization (0 = only at end of application).
+	ValidateEveryNSyncs int
+	// MaxGuestInsns aborts runaway programs (0 = unlimited).
+	MaxGuestInsns uint64
+}
+
+// DefaultConfig returns the default controller configuration.
+func DefaultConfig() Config {
+	return Config{TOL: tol.DefaultConfig(), ValidateEveryNSyncs: 1}
+}
+
+// Controller owns one application execution.
+type Controller struct {
+	X86 *guestvm.VM // authoritative full-system component
+	CoD *tol.TOL    // co-designed component
+
+	Cfg Config
+
+	// Statistics.
+	PageTransfers uint64
+	SyscallSyncs  uint64
+	Validations   uint64
+
+	syncs int
+	// bbOffset is the authoritative component's basic-block count at
+	// the moment the co-designed component was attached (non-zero when
+	// a sampling methodology transplants mid-program state).
+	bbOffset uint64
+}
+
+// New performs the Initialization phase: it launches both components,
+// loads the image into the authoritative component, and transfers the
+// initial architectural state to the co-designed component.
+func New(im *guest.Image, cfg Config) (*Controller, error) {
+	x86, err := guestvm.New(im)
+	if err != nil {
+		return nil, err
+	}
+	return NewFrom(x86, cfg), nil
+}
+
+// NewFrom attaches a fresh co-designed component to an authoritative
+// component that may already have made progress: the sampling warm-up
+// methodology fast-forwards the x86 component functionally and
+// transplants its state as the co-designed initial state.
+func NewFrom(x86 *guestvm.VM, cfg Config) *Controller {
+	cod := tol.New(cfg.TOL)
+	// The process tracker pauses the x86 component (the EXECVE
+	// analogue) and the controller forwards the initial state.
+	cod.CPU = x86.CPU
+	return &Controller{X86: x86, CoD: cod, Cfg: cfg, bbOffset: x86.BBCount}
+}
+
+// transferPage services a data request: the x86 component first catches
+// up to the co-designed component's progress point, then the page is
+// copied over.
+func (c *Controller) transferPage(addr uint32) error {
+	if err := c.catchUp(); err != nil {
+		return err
+	}
+	page, err := c.X86.Mem.PageData(addr)
+	if err != nil {
+		return err
+	}
+	c.CoD.Mem.InstallPage(addr&^uint32(guestvm.PageSize-1), page)
+	c.PageTransfers++
+	return nil
+}
+
+// catchUp advances the authoritative component to the co-designed
+// component's dynamic basic-block count.
+func (c *Controller) catchUp() error {
+	target := c.bbOffset + c.CoD.Stats.GuestBBs
+	if c.X86.BBCount >= target {
+		return nil
+	}
+	reason, err := c.X86.Run(guestvm.RunLimits{BBCount: target})
+	if err != nil {
+		return err
+	}
+	if reason != guestvm.StopBBLimit && reason != guestvm.StopHalt {
+		return fmt.Errorf("controller: unexpected stop %v during catch-up", reason)
+	}
+	if c.X86.BBCount != target {
+		return fmt.Errorf("controller: catch-up overshoot: x86 at %d BBs, co-designed at %d",
+			c.X86.BBCount, target)
+	}
+	return nil
+}
+
+// syncSyscall executes the pending system call on the authoritative
+// component and copies the resulting architectural state to the
+// co-designed component (system calls are executed only by the x86
+// component, §V-A).
+func (c *Controller) syncSyscall() error {
+	if err := c.catchUp(); err != nil {
+		return err
+	}
+	// The co-designed component sits mid-basic-block at the SYSCALL;
+	// advance the authoritative side through the partial block to the
+	// same point.
+	if reason, err := c.X86.Run(guestvm.RunLimits{StopAtSys: true, BBCount: c.bbOffset + c.CoD.Stats.GuestBBs + 1}); err != nil {
+		return err
+	} else if reason != guestvm.StopSyscall {
+		return &MismatchError{What: "eip", GuestBBs: c.CoD.Stats.GuestBBs,
+			Detail: fmt.Sprintf("x86 stopped for %v instead of reaching the syscall", reason)}
+	}
+	// Both components sit at the SYSCALL instruction: validate here if
+	// configured, then execute it authoritatively.
+	c.syncs++
+	if c.Cfg.ValidateEveryNSyncs > 0 && c.syncs%c.Cfg.ValidateEveryNSyncs == 0 {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	in, err := c.X86.Fetch(c.X86.CPU.EIP)
+	if err != nil {
+		return err
+	}
+	if in.Op != guest.SYSCALL {
+		return &MismatchError{What: "eip", GuestBBs: c.CoD.Stats.GuestBBs,
+			Detail: fmt.Sprintf("co-designed at syscall, x86 at %#x (%v)", c.X86.CPU.EIP, in.Op)}
+	}
+	if err := c.X86.ServiceSyscallAt(); err != nil {
+		return err
+	}
+	c.SyscallSyncs++
+	// Transfer the post-syscall architectural state. Syscall-written
+	// memory is transferred lazily through the normal data-request
+	// path (current syscalls write registers only).
+	c.CoD.CPU = c.X86.CPU
+	c.CoD.Stats.GuestInsnsIM++ // the syscall instruction retires
+	c.CoD.Stats.GuestBBs++
+	c.CoD.ClearMidBB()
+	if c.X86.Halted {
+		c.CoD.SetHalted()
+	}
+	return nil
+}
+
+// StepValidate catches the authoritative component up to the
+// co-designed progress point and validates the full state. The debug
+// toolchain calls it after every dispatch in lockstep mode.
+func (c *Controller) StepValidate() error {
+	if err := c.catchUp(); err != nil {
+		return err
+	}
+	return c.Validate()
+}
+
+// Validate compares the full co-designed architectural and memory state
+// against the authoritative state.
+func (c *Controller) Validate() error {
+	c.Validations++
+	bbs := c.CoD.Stats.GuestBBs
+	a, b := &c.X86.CPU, &c.CoD.CPU
+	if a.EIP != b.EIP {
+		return &MismatchError{What: "eip", GuestBBs: bbs,
+			Detail: fmt.Sprintf("x86 %#x, co-designed %#x", a.EIP, b.EIP)}
+	}
+	for i := 0; i < guest.NumGPR; i++ {
+		if a.R[i] != b.R[i] {
+			return &MismatchError{What: "register", GuestBBs: bbs,
+				Detail: fmt.Sprintf("%s: x86 %#x, co-designed %#x", guest.GPRName(uint8(i)), a.R[i], b.R[i])}
+		}
+	}
+	if a.Flags&guest.AllFlags != b.Flags&guest.AllFlags {
+		return &MismatchError{What: "flags", GuestBBs: bbs,
+			Detail: fmt.Sprintf("x86 %#05b, co-designed %#05b", a.Flags, b.Flags)}
+	}
+	for i := 0; i < guest.NumFPR; i++ {
+		if f64bits(a.F[i]) != f64bits(b.F[i]) {
+			return &MismatchError{What: "register", GuestBBs: bbs,
+				Detail: fmt.Sprintf("f%d: x86 %g, co-designed %g", i, a.F[i], b.F[i])}
+		}
+	}
+	// Memory: every co-designed page must match the authoritative
+	// content (the co-designed side holds a subset of pages).
+	for _, pageAddr := range c.CoD.Mem.Pages() {
+		cp, err := c.CoD.Mem.PageData(pageAddr)
+		if err != nil {
+			return err
+		}
+		ap, err := c.X86.Mem.PageData(pageAddr)
+		if err != nil {
+			return err
+		}
+		if *cp != *ap {
+			off := 0
+			for i := range cp {
+				if cp[i] != ap[i] {
+					off = i
+					break
+				}
+			}
+			return &MismatchError{What: "memory", GuestBBs: bbs,
+				Detail: fmt.Sprintf("addr %#x: x86 %#02x, co-designed %#02x",
+					pageAddr+uint32(off), ap[off], cp[off])}
+		}
+	}
+	return nil
+}
+
+// Run drives the Execution phase to completion (or for up to budget
+// guest instructions when budget > 0), mediating every synchronization.
+func (c *Controller) Run(budget uint64) error {
+	start := c.CoD.Stats.GuestInsns()
+	for !c.CoD.Halted() {
+		if c.Cfg.MaxGuestInsns > 0 && c.CoD.Stats.GuestInsns() > c.Cfg.MaxGuestInsns {
+			return fmt.Errorf("controller: guest instruction limit exceeded")
+		}
+		step := uint64(0)
+		if budget > 0 {
+			used := c.CoD.Stats.GuestInsns() - start
+			if used >= budget {
+				return nil
+			}
+			step = budget - used
+		}
+		res, err := c.CoD.Run(step)
+		if err != nil {
+			return err
+		}
+		switch res.Event {
+		case tol.EvBudget:
+			return nil
+		case tol.EvHalt:
+			// End of application: final synchronization and validation.
+			if err := c.catchUp(); err != nil {
+				return err
+			}
+			if !c.X86.Halted {
+				if _, err := c.X86.Run(guestvm.RunLimits{BBCount: c.bbOffset + c.CoD.Stats.GuestBBs}); err != nil {
+					return err
+				}
+			}
+			return c.Validate()
+		case tol.EvSyscall:
+			if err := c.syncSyscall(); err != nil {
+				return err
+			}
+		case tol.EvNeedPage:
+			if err := c.transferPage(res.FaultAddr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Output returns the program's syscall output (authoritative side).
+func (c *Controller) Output() []byte { return c.X86.Env.Output }
+
+func f64bits(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,159 @@
+package controller
+
+import (
+	"testing"
+
+	"darco/internal/tol"
+	"darco/internal/workload"
+)
+
+// TestRandomProgramsDifferential is the central correctness property of
+// the whole infrastructure: for random guest programs, the co-designed
+// component — interpreter, basic-block translator, and aggressively
+// optimized superblocks with control and data speculation — must
+// produce exactly the architectural and memory state of the
+// authoritative emulator at every synchronization point.
+func TestRandomProgramsDifferential(t *testing.T) {
+	n := uint64(60)
+	if testing.Short() {
+		n = 15
+	}
+	for seed := uint64(0); seed < n; seed++ {
+		seed := seed
+		im, err := workload.RandomProgram(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cfg := DefaultConfig()
+		// Aggressive promotion so random programs exercise SBM.
+		cfg.TOL.BBThreshold = 2
+		cfg.TOL.SBThreshold = 6
+		cfg.MaxGuestInsns = 30_000_000
+		c, err := New(im, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := c.Run(0); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, workload.RandomProgramSource(seed))
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("seed %d: final state: %v", seed, err)
+		}
+	}
+}
+
+// TestRandomProgramsDifferentialMultiExit repeats the property with
+// control speculation disabled (multi-exit superblocks), covering the
+// other superblock shape.
+func TestRandomProgramsDifferentialMultiExit(t *testing.T) {
+	n := uint64(25)
+	if testing.Short() {
+		n = 8
+	}
+	for seed := uint64(100); seed < 100+n; seed++ {
+		im, err := workload.RandomProgram(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cfg := DefaultConfig()
+		cfg.TOL.BBThreshold = 2
+		cfg.TOL.SBThreshold = 6
+		cfg.TOL.SB.NoAsserts = true
+		cfg.MaxGuestInsns = 30_000_000
+		c, err := New(im, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := c.Run(0); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestRandomProgramsDifferentialEagerFlags covers the eager-flags
+// ablation path of the translator.
+func TestRandomProgramsDifferentialEagerFlags(t *testing.T) {
+	for seed := uint64(200); seed < 215; seed++ {
+		im, err := workload.RandomProgram(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cfg := DefaultConfig()
+		cfg.TOL.BBThreshold = 2
+		cfg.TOL.SBThreshold = 6
+		cfg.TOL.EagerFlags = true
+		cfg.MaxGuestInsns = 30_000_000
+		c, err := New(im, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := c.Run(0); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestRandomProgramsTinyCache forces continual code cache flushes,
+// unchaining and retranslation.
+func TestRandomProgramsTinyCache(t *testing.T) {
+	for seed := uint64(300); seed < 312; seed++ {
+		im, err := workload.RandomProgram(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cfg := DefaultConfig()
+		cfg.TOL.BBThreshold = 2
+		cfg.TOL.SBThreshold = 6
+		cfg.TOL.CacheSize = 1500 // a handful of blocks
+		cfg.MaxGuestInsns = 30_000_000
+		c, err := New(im, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := c.Run(0); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if c.CoD.Cache.Flushes == 0 {
+			t.Logf("seed %d: no flush triggered (program too small)", seed)
+		}
+	}
+}
+
+// TestValidationCatchesInjectedCorruption checks the correctness
+// machinery itself: corrupting the co-designed state must be detected.
+func TestValidationCatchesInjectedCorruption(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	im, err := p.Scale(0.02).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(im, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte of co-designed memory.
+	pages := c.CoD.Mem.Pages()
+	if len(pages) == 0 {
+		t.Fatal("no pages")
+	}
+	b, _ := c.CoD.Mem.Load8(pages[0] + 5)
+	c.CoD.Mem.Store8(pages[0]+5, b^0xFF)
+	err = c.Validate()
+	mm, ok := err.(*MismatchError)
+	if !ok {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+	if mm.What != "memory" {
+		t.Errorf("mismatch kind %q", mm.What)
+	}
+	// Register corruption too.
+	c.CoD.Mem.Store8(pages[0]+5, b)
+	c.CoD.CPU.R[3] ^= 1
+	if err := c.Validate(); err == nil {
+		t.Errorf("register corruption not detected")
+	}
+	_ = tol.EvHalt // keep the import for documentation links
+}

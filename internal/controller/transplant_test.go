@@ -1,0 +1,79 @@
+package controller
+
+import (
+	"testing"
+
+	"darco/internal/guestvm"
+	"darco/internal/workload"
+)
+
+// TestTransplantMidProgram covers the sampling methodology's entry
+// point: fast-forward the authoritative component functionally, attach
+// a fresh (cold) co-designed component to its state, and run the rest
+// of the program with full validation.
+func TestTransplantMidProgram(t *testing.T) {
+	p, _ := workload.ByName("462.libquantum")
+	im, err := p.Scale(0.03).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Total length from a plain functional run.
+	ref, err := guestvm.New(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(guestvm.RunLimits{}); err != nil {
+		t.Fatal(err)
+	}
+	total := ref.InsnCount
+
+	// Fast-forward to the middle, transplant, finish co-designed.
+	x86, err := guestvm.New(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x86.Run(guestvm.RunLimits{InsnCount: total / 2}); err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewFrom(x86, DefaultConfig())
+	if err := ctl.Run(0); err != nil {
+		t.Fatalf("transplanted run: %v", err)
+	}
+	if err := ctl.Validate(); err != nil {
+		t.Fatalf("final validation: %v", err)
+	}
+	if !ctl.X86.Halted {
+		t.Errorf("authoritative side did not finish")
+	}
+	// The co-designed side only executed the second half.
+	if ctl.CoD.Stats.GuestInsns() >= total {
+		t.Errorf("co-designed executed %d of %d", ctl.CoD.Stats.GuestInsns(), total)
+	}
+}
+
+// TestTransplantBudgetedRuns drives a transplanted pair in small budget
+// slices (the warm-up methodology's access pattern).
+func TestTransplantBudgetedRuns(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	im, err := p.Scale(0.02).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x86, err := guestvm.New(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x86.Run(guestvm.RunLimits{InsnCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewFrom(x86, DefaultConfig())
+	for i := 0; i < 10 && !ctl.CoD.Halted(); i++ {
+		if err := ctl.Run(2000); err != nil {
+			t.Fatalf("slice %d: %v", i, err)
+		}
+	}
+	if ctl.CoD.Stats.GuestInsns() == 0 {
+		t.Errorf("no progress in budget slices")
+	}
+}

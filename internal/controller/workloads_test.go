@@ -1,0 +1,48 @@
+package controller
+
+import (
+	"testing"
+
+	"darco/internal/workload"
+)
+
+// TestAllWorkloadsValidate runs every paper benchmark (scaled down)
+// through the full co-designed stack and validates the final
+// architectural and memory state against the authoritative emulator.
+func TestAllWorkloadsValidate(t *testing.T) {
+	scale := 0.05
+	if testing.Short() {
+		scale = 0.02
+	}
+	for _, p := range workload.Suites() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			im, err := p.Scale(scale).Generate()
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			cfg := DefaultConfig()
+			cfg.MaxGuestInsns = 200_000_000
+			c, err := New(im, cfg)
+			if err != nil {
+				t.Fatalf("new: %v", err)
+			}
+			if err := c.Run(0); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			st := &c.CoD.Stats
+			if st.GuestInsns() == 0 {
+				t.Fatalf("no instructions retired")
+			}
+			if len(c.Output()) != 4 {
+				t.Fatalf("expected 4 checksum bytes, got %d", len(c.Output()))
+			}
+			t.Logf("%-16s insns=%d IM/BBM/SBM=%.1f%%/%.1f%%/%.1f%% ov=%.1f%%",
+				p.Name, st.GuestInsns(),
+				100*float64(st.GuestInsnsIM)/float64(st.GuestInsns()),
+				100*float64(st.GuestInsnsBBM)/float64(st.GuestInsns()),
+				100*float64(st.GuestInsnsSBM)/float64(st.GuestInsns()),
+				100*float64(c.CoD.Overhead.Total())/float64(c.CoD.Overhead.Total()+c.CoD.VM.AppInsns))
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package debug
+
+import (
+	"strings"
+	"testing"
+
+	"darco/internal/controller"
+	"darco/internal/ir"
+	"darco/internal/workload"
+)
+
+// TestLocateCleanRun verifies the debugger reports nothing on a correct
+// translator.
+func TestLocateCleanRun(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	im, err := p.Scale(0.01).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Locate(im, controller.DefaultConfig())
+	if err != nil {
+		t.Fatalf("locate: %v", err)
+	}
+	if rep != nil {
+		t.Fatalf("unexpected divergence report:\n%s", rep)
+	}
+}
+
+// TestLocateInjectedBug injects a translator bug (an Add corrupted into
+// a Sub in large optimized regions) and checks the debugger pinpoints
+// the faulty region and stage.
+func TestLocateInjectedBug(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	im, err := p.Scale(0.01).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := controller.DefaultConfig()
+	cfg.TOL.MutateRegion = func(r *ir.Region) {
+		if len(r.Code) < 40 {
+			return // only corrupt superblock-sized regions
+		}
+		for i := range r.Code {
+			in := &r.Code[i]
+			if in.Op == ir.Add && in.A != 0 && in.B != 0 {
+				in.Op = ir.Sub
+				return
+			}
+		}
+	}
+	rep, err := Locate(im, cfg)
+	if err != nil {
+		t.Fatalf("locate: %v", err)
+	}
+	if rep == nil {
+		t.Fatalf("injected bug not detected")
+	}
+	if rep.Suspect.Mode != "superblock" && rep.Suspect.Mode != "bb" {
+		t.Errorf("suspect mode = %q, want a translated region", rep.Suspect.Mode)
+	}
+	if !strings.Contains(rep.Guilty, "base translation") && !strings.Contains(rep.Guilty, "pass:") {
+		t.Errorf("guilty stage = %q", rep.Guilty)
+	}
+	if rep.Listing == "" {
+		t.Errorf("expected a region listing")
+	}
+	t.Logf("debugger verdict:\n%s", rep)
+}

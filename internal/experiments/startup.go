@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	darco "darco"
+	"darco/internal/controller"
+	"darco/internal/guest"
+	"darco/internal/timing"
+	"darco/internal/workload"
+)
+
+// Startup-delay study (§III, "Startup Delay"): the time taken for
+// initial translations before executing translated/optimized native
+// code dictates the response time of the system — the challenge that
+// killed Transmeta Crusoe's interactive feel. This experiment measures
+// host cycles to retire the first N guest instructions as the promotion
+// thresholds vary: lower thresholds translate earlier (less slow
+// interpretation) but spend more cycles translating cold code.
+
+// StartupRow is one threshold configuration's startup measurement.
+type StartupRow struct {
+	BBThreshold uint32
+	SBThreshold uint64
+	Cycles      uint64  // host cycles to retire the first N guest insns
+	CPGI        float64 // cycles per guest instruction over the window
+	IMShare     float64 // fraction of the window interpreted
+}
+
+// StartupDelay measures time-to-first-N-instructions across threshold
+// configurations on one benchmark.
+func StartupDelay(p workload.Profile, window uint64, scale float64) ([]StartupRow, error) {
+	im, err := p.Scale(scale).Generate()
+	if err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		bb uint32
+		sb uint64
+	}{
+		{1, 10},    // translate almost immediately
+		{5, 100},   // eager
+		{10, 300},  // default
+		{50, 2000}, // patient (Crusoe-like long interpretation)
+	}
+	var rows []StartupRow
+	for _, c := range configs {
+		row, err := startupOne(im, c.bb, c.sb, window)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func startupOne(im *guest.Image, bb uint32, sb uint64, window uint64) (*StartupRow, error) {
+	cfg := darco.TimingConfig()
+	cfg.TOL.BBThreshold = bb
+	cfg.TOL.SBThreshold = sb
+	ctl, core, err := attach(im, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctl.Run(window); err != nil {
+		return nil, err
+	}
+	core.AddTOL(ctl.CoD.Overhead.Total())
+	st := &ctl.CoD.Stats
+	g := st.GuestInsns()
+	row := &StartupRow{BBThreshold: bb, SBThreshold: sb, Cycles: core.Stats.Cycles}
+	if g > 0 {
+		row.CPGI = float64(core.Stats.Cycles) / float64(g)
+		row.IMShare = float64(st.GuestInsnsIM) / float64(g)
+	}
+	return row, nil
+}
+
+// attach builds a controller with a timing core wired to the retire
+// stream (the facade runs to completion; startup needs budgeted runs).
+func attach(im *guest.Image, cfg darco.Config) (*controller.Controller, *timing.Core, error) {
+	ctl, err := controller.New(im, controller.Config{TOL: cfg.TOL})
+	if err != nil {
+		return nil, nil, err
+	}
+	core := timing.New(*cfg.Timing)
+	ctl.CoD.VM.Retire = core.Consume
+	return ctl, core, nil
+}

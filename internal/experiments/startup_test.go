@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+
+	"darco/internal/workload"
+)
+
+func TestStartupDelay(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	rows, err := StartupDelay(p, 40_000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Cycles == 0 || r.CPGI <= 0 {
+			t.Errorf("config %d/%d produced no measurement", r.BBThreshold, r.SBThreshold)
+		}
+	}
+	// The patient (Crusoe-like) configuration interprets far more of
+	// the startup window than the eager one.
+	if rows[3].IMShare <= rows[0].IMShare {
+		t.Errorf("interpretation share should grow with the threshold: %f vs %f",
+			rows[3].IMShare, rows[0].IMShare)
+	}
+	// And its startup is slower than the best configuration.
+	best := rows[0].Cycles
+	for _, r := range rows[1:3] {
+		if r.Cycles < best {
+			best = r.Cycles
+		}
+	}
+	if rows[3].Cycles <= best {
+		t.Errorf("long interpretation should hurt startup: %d vs best %d", rows[3].Cycles, best)
+	}
+}

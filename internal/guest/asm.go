@@ -1,0 +1,525 @@
+package guest
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates GISA assembly text into a loadable Image.
+//
+// Syntax, one statement per line (';' starts a comment):
+//
+//	.org 0x1000          start a new segment at the given address
+//	.entry label         set the program entry point
+//	.word 1, 2, -3       emit 32-bit little-endian words
+//	.byte 1, 2, 3        emit bytes
+//	.f64 3.14, 2.71      emit float64 values
+//	.space 256           emit zero bytes
+//	label:               define a label at the current address
+//	movri eax, 42        instructions, mnemonics from the opcode table
+//	movri ebx, @label    '@label' is the absolute address of a label
+//	load  eax, [ebx+8]   FormM memory operand
+//	loadx eax, [ebx+esi<<2+8]  FormMX scaled-index operand
+//	jne   label          branch to label
+//
+// Assembly is two-pass so forward references work.
+func Assemble(src string) (*Image, error) {
+	a := &asm{labels: make(map[string]uint32)}
+	if err := a.run(src, true); err != nil {
+		return nil, err
+	}
+	a.segs = nil
+	a.cur = nil
+	if err := a.run(src, false); err != nil {
+		return nil, err
+	}
+	a.flush()
+	im := &Image{Entry: a.entry, Segments: a.segs, Labels: a.labels}
+	if !a.entrySet {
+		if e, ok := a.labels["start"]; ok {
+			im.Entry = e
+		} else if len(im.Segments) > 0 {
+			im.Entry = im.Segments[0].Addr
+		}
+	}
+	im.Sort()
+	return im, nil
+}
+
+type asm struct {
+	labels   map[string]uint32
+	segs     []Segment
+	cur      *Segment
+	pc       uint32
+	entry    uint32
+	entrySet bool
+	pass1    bool
+	line     int
+}
+
+func (a *asm) errf(format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", a.line, fmt.Sprintf(format, args...))
+}
+
+func (a *asm) flush() {
+	if a.cur != nil && len(a.cur.Data) > 0 {
+		a.segs = append(a.segs, *a.cur)
+	}
+	a.cur = nil
+}
+
+func (a *asm) org(addr uint32) {
+	a.flush()
+	a.cur = &Segment{Addr: addr}
+	a.pc = addr
+}
+
+func (a *asm) emit(b []byte) {
+	if !a.pass1 {
+		if a.cur == nil {
+			a.org(a.pc)
+		}
+		a.cur.Data = append(a.cur.Data, b...)
+	}
+	a.pc += uint32(len(b))
+}
+
+func (a *asm) run(src string, pass1 bool) error {
+	a.pass1 = pass1
+	a.pc = 0
+	a.entrySet = false
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		line := raw
+		if j := strings.IndexByte(line, ';'); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// A line may carry "label: instruction".
+		for {
+			j := strings.IndexByte(line, ':')
+			if j < 0 || strings.ContainsAny(line[:j], " \t[,") {
+				break
+			}
+			name := line[:j]
+			if pass1 {
+				if _, dup := a.labels[name]; dup {
+					return a.errf("duplicate label %q", name)
+				}
+				a.labels[name] = a.pc
+			}
+			line = strings.TrimSpace(line[j+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.stmt(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *asm) stmt(line string) error {
+	mnem := line
+	rest := ""
+	if j := strings.IndexAny(line, " \t"); j >= 0 {
+		mnem = line[:j]
+		rest = strings.TrimSpace(line[j+1:])
+	}
+	if strings.HasPrefix(mnem, ".") {
+		return a.directive(mnem, rest)
+	}
+	op, ok := OpByName(mnem)
+	if !ok {
+		return a.errf("unknown mnemonic %q", mnem)
+	}
+	in, err := a.operands(op, rest)
+	if err != nil {
+		return err
+	}
+	a.emit(in.Encode(nil))
+	return nil
+}
+
+func (a *asm) directive(name, rest string) error {
+	switch name {
+	case ".org":
+		v, err := a.intVal(rest)
+		if err != nil {
+			return err
+		}
+		a.org(uint32(v))
+	case ".entry":
+		if !a.pass1 {
+			addr, ok := a.labels[rest]
+			if !ok {
+				return a.errf("unknown entry label %q", rest)
+			}
+			a.entry = addr
+		}
+		a.entrySet = true
+	case ".word":
+		for _, f := range splitOperands(rest) {
+			v, err := a.intVal(f)
+			if err != nil {
+				return err
+			}
+			var b [4]byte
+			putU32(b[:], uint32(v))
+			a.emit(b[:])
+		}
+	case ".byte":
+		for _, f := range splitOperands(rest) {
+			v, err := a.intVal(f)
+			if err != nil {
+				return err
+			}
+			a.emit([]byte{byte(v)})
+		}
+	case ".f64":
+		for _, f := range splitOperands(rest) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return a.errf("bad float %q", f)
+			}
+			var b [8]byte
+			putU64(b[:], math.Float64bits(v))
+			a.emit(b[:])
+		}
+	case ".space":
+		v, err := a.intVal(rest)
+		if err != nil {
+			return err
+		}
+		a.emit(make([]byte, v))
+	default:
+		return a.errf("unknown directive %q", name)
+	}
+	return nil
+}
+
+func (a *asm) operands(op Op, rest string) (Inst, error) {
+	d := op.Desc()
+	in := Inst{Op: op}
+	ops := splitOperands(rest)
+	need := func(n int) error {
+		if len(ops) != n {
+			return a.errf("%s: want %d operands, got %d", d.Name, n, len(ops))
+		}
+		return nil
+	}
+	switch d.Form {
+	case FormN:
+		return in, need(0)
+	case FormR1:
+		if err := need(1); err != nil {
+			return in, err
+		}
+		r, err := a.gpr(ops[0])
+		if err != nil {
+			return in, err
+		}
+		in.R1 = r
+		return in, nil
+	case FormR:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		in.R1, in.R2, err = a.regPair(op, ops[0], ops[1])
+		return in, err
+	case FormI:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		r, err := a.gpr(ops[0])
+		if err != nil {
+			return in, err
+		}
+		v, err := a.immVal(ops[1])
+		if err != nil {
+			return in, err
+		}
+		in.R1, in.Imm = r, v
+		return in, nil
+	case FormImm:
+		if err := need(1); err != nil {
+			return in, err
+		}
+		v, err := a.immVal(ops[0])
+		if err != nil {
+			return in, err
+		}
+		in.Imm = v
+		return in, nil
+	case FormF64:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		r, err := a.fpr(ops[0])
+		if err != nil {
+			return in, err
+		}
+		v, err := strconv.ParseFloat(ops[1], 64)
+		if err != nil {
+			return in, a.errf("bad float %q", ops[1])
+		}
+		in.R1, in.F64 = r, v
+		return in, nil
+	case FormB:
+		if err := need(1); err != nil {
+			return in, err
+		}
+		if a.pass1 {
+			return in, nil
+		}
+		target, ok := a.labels[ops[0]]
+		if !ok {
+			v, err := a.intVal(ops[0])
+			if err != nil {
+				return in, a.errf("unknown label %q", ops[0])
+			}
+			target = uint32(v)
+		}
+		in.Imm = int32(target - (a.pc + uint32(FormLen(FormB))))
+		return in, nil
+	case FormM:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		memIdx, dataIdx := 1, 0
+		if op == STORE || op == STOREB || op == STOREX || op == FST {
+			memIdx, dataIdx = 0, 1
+		}
+		var err error
+		if d.IsFP {
+			in.R1, err = a.fpr(ops[dataIdx])
+		} else {
+			in.R1, err = a.gpr(ops[dataIdx])
+		}
+		if err != nil {
+			return in, err
+		}
+		base, _, _, disp, err := a.memOperand(ops[memIdx])
+		if err != nil {
+			return in, err
+		}
+		in.R2, in.Imm = base, disp
+		return in, nil
+	case FormMX:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		memIdx, dataIdx := 1, 0
+		if op == STOREX {
+			memIdx, dataIdx = 0, 1
+		}
+		r, err := a.gpr(ops[dataIdx])
+		if err != nil {
+			return in, err
+		}
+		base, index, scale, disp, err := a.memOperand(ops[memIdx])
+		if err != nil {
+			return in, err
+		}
+		in.R1, in.R2, in.R3, in.Scale, in.Imm = r, base, index, scale, disp
+		return in, nil
+	}
+	return in, a.errf("unsupported form for %s", d.Name)
+}
+
+func (a *asm) regPair(op Op, s1, s2 string) (r1, r2 uint8, err error) {
+	d := op.Desc()
+	switch {
+	case op == CVTIF:
+		if r1, err = a.fpr(s1); err != nil {
+			return
+		}
+		r2, err = a.gpr(s2)
+	case op == CVTFI:
+		if r1, err = a.gpr(s1); err != nil {
+			return
+		}
+		r2, err = a.fpr(s2)
+	case d.IsFP:
+		if r1, err = a.fpr(s1); err != nil {
+			return
+		}
+		r2, err = a.fpr(s2)
+	default:
+		if r1, err = a.gpr(s1); err != nil {
+			return
+		}
+		r2, err = a.gpr(s2)
+	}
+	return
+}
+
+// memOperand parses "[base]", "[base+disp]", "[base+index<<scale+disp]".
+func (a *asm) memOperand(s string) (base, index, scale uint8, disp int32, err error) {
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		err = a.errf("bad memory operand %q", s)
+		return
+	}
+	inner := s[1 : len(s)-1]
+	// Split on '+' and '-' keeping sign on displacement.
+	parts := splitAddr(inner)
+	if len(parts) == 0 {
+		err = a.errf("empty memory operand %q", s)
+		return
+	}
+	base, err = a.gpr(parts[0])
+	if err != nil {
+		return
+	}
+	for _, p := range parts[1:] {
+		if j := strings.Index(p, "<<"); j >= 0 {
+			index, err = a.gpr(p[:j])
+			if err != nil {
+				return
+			}
+			var sc int64
+			sc, err = a.intVal(p[j+2:])
+			if err != nil || sc < 0 || sc > 3 {
+				err = a.errf("bad scale in %q", s)
+				return
+			}
+			scale = uint8(sc)
+			continue
+		}
+		if r, rerr := a.gprLookup(p); rerr == nil {
+			index = r
+			continue
+		}
+		var v int64
+		v, err = a.intVal(p)
+		if err != nil {
+			return
+		}
+		disp += int32(v)
+	}
+	return
+}
+
+// splitAddr splits "ebx+esi<<2-8" into ["ebx", "esi<<2", "-8"].
+func splitAddr(s string) []string {
+	var out []string
+	start := 0
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			out = append(out, s[start:i])
+			if s[i] == '+' {
+				start = i + 1
+			} else {
+				start = i
+			}
+		}
+	}
+	out = append(out, s[start:])
+	for i := range out {
+		out[i] = strings.TrimSpace(out[i])
+	}
+	return out
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	// Split on commas outside brackets.
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func (a *asm) gprLookup(s string) (uint8, error) {
+	for i, n := range gprNames {
+		if s == n {
+			return uint8(i), nil
+		}
+	}
+	return 0, fmt.Errorf("not a register")
+}
+
+func (a *asm) gpr(s string) (uint8, error) {
+	r, err := a.gprLookup(s)
+	if err != nil {
+		return 0, a.errf("bad register %q", s)
+	}
+	return r, nil
+}
+
+func (a *asm) fpr(s string) (uint8, error) {
+	if len(s) >= 2 && s[0] == 'f' {
+		if v, err := strconv.Atoi(s[1:]); err == nil && v >= 0 && v < NumFPR {
+			return uint8(v), nil
+		}
+	}
+	return 0, a.errf("bad fp register %q", s)
+}
+
+func (a *asm) intVal(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, a.errf("bad integer %q", s)
+	}
+	return v, nil
+}
+
+// immVal parses an integer immediate or '@label' absolute address.
+func (a *asm) immVal(s string) (int32, error) {
+	if strings.HasPrefix(s, "@") {
+		if a.pass1 {
+			return 0, nil
+		}
+		addr, ok := a.labels[s[1:]]
+		if !ok {
+			return 0, a.errf("unknown label %q", s[1:])
+		}
+		return int32(addr), nil
+	}
+	v, err := a.intVal(s)
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxUint32 || v < math.MinInt32 {
+		return 0, a.errf("immediate %d out of range", v)
+	}
+	return int32(uint32(v)), nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}

@@ -1,0 +1,260 @@
+package guest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	im, err := Assemble(`
+.org 0x1000
+start:
+    movri eax, 42
+    addri eax, -1
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Entry != 0x1000 {
+		t.Errorf("entry %#x", im.Entry)
+	}
+	if len(im.Segments) != 1 || im.Segments[0].Addr != 0x1000 {
+		t.Fatalf("segments %+v", im.Segments)
+	}
+	in, n := Decode(im.Segments[0].Data)
+	if n == 0 || in.Op != MOVri || in.R1 != EAX || in.Imm != 42 {
+		t.Errorf("first inst %+v", in)
+	}
+}
+
+func TestAssembleForwardBackLabels(t *testing.T) {
+	im, err := Assemble(`
+.org 0x1000
+top:
+    jmp fwd
+mid:
+    jmp top
+fwd:
+    jmp mid
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := im.Segments[0].Data
+	// jmp fwd at 0x1000: fwd is at 0x1000+10.
+	in, _ := Decode(code)
+	if in.Target(0x1000) != 0x100A {
+		t.Errorf("forward target %#x", in.Target(0x1000))
+	}
+	// jmp top at 0x1005.
+	in, _ = Decode(code[5:])
+	if in.Target(0x1005) != 0x1000 {
+		t.Errorf("backward target %#x", in.Target(0x1005))
+	}
+}
+
+func TestAssembleMemOperands(t *testing.T) {
+	im, err := Assemble(`
+.org 0
+    load eax, [ebx+8]
+    store [ebp-4], ecx
+    loadx edx, [esi+edi<<2+16]
+    storex [ebx+ecx<<3-8], eax
+    lea eax, [ebx+esi<<1+100]
+    fld f2, [ebx+24]
+    fst [ebx+32], f3
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := im.Segments[0].Data
+	in, n := Decode(code)
+	if in.Op != LOAD || in.R1 != EAX || in.R2 != EBX || in.Imm != 8 {
+		t.Errorf("load: %+v", in)
+	}
+	code = code[n:]
+	in, n = Decode(code)
+	if in.Op != STORE || in.R1 != ECX || in.R2 != EBP || in.Imm != -4 {
+		t.Errorf("store: %+v", in)
+	}
+	code = code[n:]
+	in, n = Decode(code)
+	if in.Op != LOADX || in.R1 != EDX || in.R2 != ESI || in.R3 != EDI || in.Scale != 2 || in.Imm != 16 {
+		t.Errorf("loadx: %+v", in)
+	}
+	code = code[n:]
+	in, n = Decode(code)
+	if in.Op != STOREX || in.R1 != EAX || in.R2 != EBX || in.R3 != ECX || in.Scale != 3 || in.Imm != -8 {
+		t.Errorf("storex: %+v", in)
+	}
+	code = code[n:]
+	in, n = Decode(code)
+	if in.Op != LEA || in.Imm != 100 || in.Scale != 1 {
+		t.Errorf("lea: %+v", in)
+	}
+	code = code[n:]
+	in, n = Decode(code)
+	if in.Op != FLD || in.R1 != 2 || in.R2 != EBX || in.Imm != 24 {
+		t.Errorf("fld: %+v", in)
+	}
+	code = code[n:]
+	in, _ = Decode(code)
+	if in.Op != FST || in.R1 != 3 || in.Imm != 32 {
+		t.Errorf("fst: %+v", in)
+	}
+}
+
+func TestAssembleDirectives(t *testing.T) {
+	im, err := Assemble(`
+.org 0x2000
+data:
+    .word 1, -2, 0x30
+    .byte 9, 10
+    .f64 1.5
+    .space 3
+end:
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := im.Segments[0].Data
+	if len(d) != 12+2+8+3+1 {
+		t.Fatalf("data length %d", len(d))
+	}
+	if d[0] != 1 || d[4] != 0xFE || d[8] != 0x30 {
+		t.Errorf("words: % x", d[:12])
+	}
+	if d[12] != 9 || d[13] != 10 {
+		t.Errorf("bytes: % x", d[12:14])
+	}
+	if im.Labels["end"] != 0x2000+25 {
+		t.Errorf("end label %#x", im.Labels["end"])
+	}
+}
+
+func TestAssembleLabelImmediate(t *testing.T) {
+	im, err := Assemble(`
+.org 0x1000
+start:
+    movri eax, @target
+    jmpr eax
+target:
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := Decode(im.Segments[0].Data)
+	if uint32(in.Imm) != im.Labels["target"] {
+		t.Errorf("@label immediate %#x want %#x", in.Imm, im.Labels["target"])
+	}
+}
+
+func TestAssembleEntryDirective(t *testing.T) {
+	im, err := Assemble(`
+.org 0x1000
+first: nop
+main:  halt
+.entry main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Entry != im.Labels["main"] {
+		t.Errorf("entry %#x want %#x", im.Entry, im.Labels["main"])
+	}
+}
+
+func TestAssembleMultipleSegments(t *testing.T) {
+	im, err := Assemble(`
+.org 0x5000
+    .word 5
+.org 0x1000
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Segments) != 2 {
+		t.Fatalf("segments: %d", len(im.Segments))
+	}
+	// Sorted by address.
+	if im.Segments[0].Addr != 0x1000 || im.Segments[1].Addr != 0x5000 {
+		t.Errorf("segment order: %#x %#x", im.Segments[0].Addr, im.Segments[1].Addr)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"frob eax", "unknown mnemonic"},
+		{"movri r9, 1", "bad register"},
+		{"movri eax", "want 2 operands"},
+		{"jmp nowhere", "unknown label"},
+		{"dup: nop\ndup: nop", "duplicate label"},
+		{".bogus 1", "unknown directive"},
+		{"movri eax, zzz", "bad integer"},
+		{"fldi f9, 1.0", "bad fp register"},
+		{"load eax, ebx", "bad memory operand"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Assemble(%q) err = %v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestAssembleCommentsAndLabelsOnOneLine(t *testing.T) {
+	im, err := Assemble("start: nop ; trailing comment\n  halt ; done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Segments[0].Data) != 2 {
+		t.Errorf("code bytes %d", len(im.Segments[0].Data))
+	}
+}
+
+// TestAssembleDisassembleRoundTrip re-assembles the disassembly of
+// straight-line code.
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	src := `
+.org 0
+    movri eax, 7
+    addrr eax, ebx
+    subri ecx, -9
+    shlri edx, 3
+    push esi
+    pop edi
+    fadd f0, f1
+    cvtif f2, eax
+    cvtfi ebx, f3
+    halt
+`
+	im, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := im.Segments[0].Data
+	var lines []string
+	for len(code) > 0 {
+		in, n := Decode(code)
+		if n == 0 {
+			t.Fatalf("decode failed at % x", code)
+		}
+		lines = append(lines, in.String())
+		code = code[n:]
+	}
+	im2, err := Assemble(".org 0\n" + strings.Join(lines, "\n"))
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+	if string(im2.Segments[0].Data) != string(im.Segments[0].Data) {
+		t.Fatalf("roundtrip bytes differ\n%s", strings.Join(lines, "\n"))
+	}
+}

@@ -1,0 +1,71 @@
+package guest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkDecode(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var bufs [][]byte
+	for i := 0; i < 256; i++ {
+		in := randInst(r)
+		bufs = append(bufs, in.Encode(nil))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(bufs[i%len(bufs)])
+	}
+}
+
+func BenchmarkStepALU(b *testing.B) {
+	cpu := &CPU{}
+	cpu.R[EAX], cpu.R[EBX] = 7, 9
+	mem := sliceMem{}
+	in := Inst{Op: ADDrr, R1: EAX, R2: EBX}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.EIP = 0x1000
+		Step(cpu, mem, &in)
+	}
+}
+
+func BenchmarkStepMemory(b *testing.B) {
+	cpu := &CPU{}
+	cpu.R[EBX] = 0x100
+	mem := sliceMem{}
+	in := Inst{Op: LOAD, R1: EAX, R2: EBX, Imm: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.EIP = 0x1000
+		Step(cpu, mem, &in)
+	}
+}
+
+func BenchmarkSoftSin(b *testing.B) {
+	x := 0.3
+	for i := 0; i < b.N; i++ {
+		x = SoftSin(x + 1)
+	}
+	_ = x
+}
+
+func BenchmarkAssemble(b *testing.B) {
+	src := `
+.org 0x1000
+start:
+    movri eax, 0
+    movri ecx, 0
+loop:
+    addrr eax, ecx
+    inc ecx
+    cmpri ecx, 100
+    jl loop
+    halt
+`
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,552 @@
+package guest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sliceMem is a trivial guest.Memory for semantic tests.
+type sliceMem map[uint32]byte
+
+func (m sliceMem) Load8(a uint32) (uint8, error)  { return m[a], nil }
+func (m sliceMem) Store8(a uint32, v uint8) error { m[a] = v; return nil }
+func (m sliceMem) Load32(a uint32) (uint32, error) {
+	return uint32(m[a]) | uint32(m[a+1])<<8 | uint32(m[a+2])<<16 | uint32(m[a+3])<<24, nil
+}
+func (m sliceMem) Store32(a uint32, v uint32) error {
+	m[a], m[a+1], m[a+2], m[a+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return nil
+}
+func (m sliceMem) Load64(a uint32) (uint64, error) {
+	lo, _ := m.Load32(a)
+	hi, _ := m.Load32(a + 4)
+	return uint64(hi)<<32 | uint64(lo), nil
+}
+func (m sliceMem) Store64(a uint32, v uint64) error {
+	m.Store32(a, uint32(v))
+	return m.Store32(a+4, uint32(v>>32))
+}
+
+// step executes one instruction on a fresh CPU prepared by setup.
+func step(t *testing.T, in Inst, setup func(*CPU, sliceMem)) (*CPU, sliceMem) {
+	t.Helper()
+	cpu := &CPU{EIP: 0x1000}
+	cpu.R[ESP] = 0x9000
+	mem := sliceMem{}
+	if setup != nil {
+		setup(cpu, mem)
+	}
+	if _, err := Step(cpu, mem, &in); err != nil {
+		t.Fatalf("step %v: %v", &in, err)
+	}
+	return cpu, mem
+}
+
+func TestAddFlags(t *testing.T) {
+	cases := []struct {
+		a, b  uint32
+		sum   uint32
+		flags uint32
+	}{
+		{1, 2, 3, parity(3)},
+		{0, 0, 0, FlagZF | FlagPF},
+		{0xFFFFFFFF, 1, 0, FlagZF | FlagCF | FlagPF},
+		{0x7FFFFFFF, 1, 0x80000000, FlagSF | FlagOF | parity(0x80000000)},
+		{0x80000000, 0x80000000, 0, FlagZF | FlagCF | FlagOF | FlagPF},
+		{0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFE, FlagSF | FlagCF | parity(0xFE)},
+	}
+	for _, c := range cases {
+		cpu, _ := step(t, Inst{Op: ADDrr, R1: EAX, R2: EBX}, func(cpu *CPU, _ sliceMem) {
+			cpu.R[EAX], cpu.R[EBX] = c.a, c.b
+		})
+		if cpu.R[EAX] != c.sum {
+			t.Errorf("add %#x+%#x = %#x, want %#x", c.a, c.b, cpu.R[EAX], c.sum)
+		}
+		if cpu.Flags != c.flags {
+			t.Errorf("add %#x+%#x flags %05b, want %05b", c.a, c.b, cpu.Flags, c.flags)
+		}
+	}
+}
+
+func TestSubCmpFlags(t *testing.T) {
+	cases := []struct {
+		a, b  uint32
+		diff  uint32
+		flags uint32
+	}{
+		{5, 3, 2, 0},
+		{3, 5, 0xFFFFFFFE, FlagCF | FlagSF | parity(0xFE)},
+		{0, 0, 0, FlagZF | FlagPF},
+		{0x80000000, 1, 0x7FFFFFFF, FlagOF | parity(0xFF)},
+		{0x7FFFFFFF, 0xFFFFFFFF, 0x80000000, FlagCF | FlagSF | FlagOF | parity(0)},
+	}
+	for _, c := range cases {
+		cpu, _ := step(t, Inst{Op: SUBrr, R1: EAX, R2: EBX}, func(cpu *CPU, _ sliceMem) {
+			cpu.R[EAX], cpu.R[EBX] = c.a, c.b
+		})
+		if cpu.R[EAX] != c.diff {
+			t.Errorf("sub %#x-%#x = %#x, want %#x", c.a, c.b, cpu.R[EAX], c.diff)
+		}
+		if cpu.Flags != c.flags {
+			t.Errorf("sub %#x-%#x flags %05b want %05b", c.a, c.b, cpu.Flags, c.flags)
+		}
+		// CMP computes the same flags without the writeback.
+		cpu2, _ := step(t, Inst{Op: CMPrr, R1: EAX, R2: EBX}, func(cpu *CPU, _ sliceMem) {
+			cpu.R[EAX], cpu.R[EBX] = c.a, c.b
+		})
+		if cpu2.R[EAX] != c.a {
+			t.Errorf("cmp modified its operand")
+		}
+		if cpu2.Flags != c.flags {
+			t.Errorf("cmp flags %05b want %05b", cpu2.Flags, c.flags)
+		}
+	}
+}
+
+// TestSignedCompareProperty: after CMP a,b the JL/JGE/JG/JLE conditions
+// must agree with Go's signed comparison.
+func TestSignedCompareProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		cpu := &CPU{}
+		cpu.R[EAX], cpu.R[EBX] = uint32(a), uint32(b)
+		in := Inst{Op: CMPrr, R1: EAX, R2: EBX}
+		mem := sliceMem{}
+		if _, err := Step(cpu, mem, &in); err != nil {
+			return false
+		}
+		return CondTaken(JL, cpu.Flags) == (a < b) &&
+			CondTaken(JGE, cpu.Flags) == (a >= b) &&
+			CondTaken(JG, cpu.Flags) == (a > b) &&
+			CondTaken(JLE, cpu.Flags) == (a <= b) &&
+			CondTaken(JE, cpu.Flags) == (a == b) &&
+			CondTaken(JNE, cpu.Flags) == (a != b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnsignedCompareProperty covers JB/JAE.
+func TestUnsignedCompareProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		cpu := &CPU{}
+		cpu.R[EAX], cpu.R[EBX] = a, b
+		in := Inst{Op: CMPrr, R1: EAX, R2: EBX}
+		if _, err := Step(cpu, sliceMem{}, &in); err != nil {
+			return false
+		}
+		return CondTaken(JB, cpu.Flags) == (a < b) &&
+			CondTaken(JAE, cpu.Flags) == (a >= b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogicClearsCFOF(t *testing.T) {
+	cpu, _ := step(t, Inst{Op: ANDrr, R1: EAX, R2: EBX}, func(cpu *CPU, _ sliceMem) {
+		cpu.Flags = FlagCF | FlagOF
+		cpu.R[EAX], cpu.R[EBX] = 0xF0F0, 0x0FF0
+	})
+	if cpu.R[EAX] != 0x0F0 {
+		t.Errorf("and = %#x", cpu.R[EAX])
+	}
+	if cpu.Flags&(FlagCF|FlagOF) != 0 {
+		t.Errorf("logic must clear CF/OF: %05b", cpu.Flags)
+	}
+}
+
+func TestShiftFlags(t *testing.T) {
+	// SHL by 1 out of the top bit sets CF and OF.
+	cpu, _ := step(t, Inst{Op: SHLri, R1: EAX, Imm: 1}, func(cpu *CPU, _ sliceMem) {
+		cpu.R[EAX] = 0x80000001
+	})
+	if cpu.R[EAX] != 2 {
+		t.Errorf("shl result %#x", cpu.R[EAX])
+	}
+	if cpu.Flags&FlagCF == 0 || cpu.Flags&FlagOF == 0 {
+		t.Errorf("shl flags %05b", cpu.Flags)
+	}
+	// Shift by 0 computes SZP of the unchanged value with CF=OF=0.
+	cpu, _ = step(t, Inst{Op: SHRri, R1: EAX, Imm: 0}, func(cpu *CPU, _ sliceMem) {
+		cpu.R[EAX] = 0x80000000
+		cpu.Flags = FlagCF
+	})
+	if cpu.Flags != FlagSF|parity(0) {
+		t.Errorf("zero shift flags %05b", cpu.Flags)
+	}
+	// SAR keeps the sign.
+	cpu, _ = step(t, Inst{Op: SARri, R1: EAX, Imm: 4}, func(cpu *CPU, _ sliceMem) {
+		cpu.R[EAX] = 0xFFFFFF00
+	})
+	if cpu.R[EAX] != 0xFFFFFFF0 {
+		t.Errorf("sar result %#x", cpu.R[EAX])
+	}
+	// Shift amounts are masked to 5 bits.
+	cpu, _ = step(t, Inst{Op: SHLrr, R1: EAX, R2: ECX}, func(cpu *CPU, _ sliceMem) {
+		cpu.R[EAX], cpu.R[ECX] = 1, 33
+	})
+	if cpu.R[EAX] != 2 {
+		t.Errorf("shift count must mask to 5 bits: %#x", cpu.R[EAX])
+	}
+}
+
+func TestIMULOverflow(t *testing.T) {
+	cpu, _ := step(t, Inst{Op: IMULrr, R1: EAX, R2: EBX}, func(cpu *CPU, _ sliceMem) {
+		cpu.R[EAX], cpu.R[EBX] = 0x10000, 0x10000
+	})
+	if cpu.R[EAX] != 0 {
+		t.Errorf("imul wrap %#x", cpu.R[EAX])
+	}
+	if cpu.Flags&FlagCF == 0 || cpu.Flags&FlagOF == 0 {
+		t.Errorf("imul overflow flags %05b", cpu.Flags)
+	}
+	cpu, _ = step(t, Inst{Op: IMULri, R1: EAX, Imm: -3}, func(cpu *CPU, _ sliceMem) {
+		cpu.R[EAX] = 7
+	})
+	if int32(cpu.R[EAX]) != -21 {
+		t.Errorf("imul small %d", int32(cpu.R[EAX]))
+	}
+	if cpu.Flags&(FlagCF|FlagOF) != 0 {
+		t.Errorf("no overflow expected: %05b", cpu.Flags)
+	}
+}
+
+func TestIDIVSpecialCases(t *testing.T) {
+	// Normal division: EAX/r -> quotient EAX, remainder EDX.
+	cpu, _ := step(t, Inst{Op: IDIV, R1: EBX}, func(cpu *CPU, _ sliceMem) {
+		cpu.R[EAX], cpu.R[EBX] = 17, 5
+	})
+	if cpu.R[EAX] != 3 || cpu.R[EDX] != 2 {
+		t.Errorf("17/5 = %d rem %d", cpu.R[EAX], cpu.R[EDX])
+	}
+	// Negative dividend truncates toward zero.
+	cpu, _ = step(t, Inst{Op: IDIV, R1: EBX}, func(cpu *CPU, _ sliceMem) {
+		neg17 := int32(-17)
+		cpu.R[EAX], cpu.R[EBX] = uint32(neg17), 5
+	})
+	if int32(cpu.R[EAX]) != -3 || int32(cpu.R[EDX]) != -2 {
+		t.Errorf("-17/5 = %d rem %d", int32(cpu.R[EAX]), int32(cpu.R[EDX]))
+	}
+	// Division by zero is deterministic, not a trap.
+	cpu, _ = step(t, Inst{Op: IDIV, R1: EBX}, func(cpu *CPU, _ sliceMem) {
+		cpu.R[EAX], cpu.R[EBX] = 42, 0
+	})
+	if cpu.R[EAX] != 0xFFFFFFFF || cpu.R[EDX] != 42 {
+		t.Errorf("div0: q=%#x r=%d", cpu.R[EAX], cpu.R[EDX])
+	}
+	// MinInt32 / -1 saturates.
+	cpu, _ = step(t, Inst{Op: IDIV, R1: EBX}, func(cpu *CPU, _ sliceMem) {
+		cpu.R[EAX], cpu.R[EBX] = 0x80000000, 0xFFFFFFFF
+	})
+	if cpu.R[EAX] != 0x80000000 || cpu.R[EDX] != 0 {
+		t.Errorf("minint/-1: q=%#x r=%d", cpu.R[EAX], cpu.R[EDX])
+	}
+}
+
+func TestIncDecPreserveCF(t *testing.T) {
+	cpu, _ := step(t, Inst{Op: INC, R1: EAX}, func(cpu *CPU, _ sliceMem) {
+		cpu.Flags = FlagCF
+		cpu.R[EAX] = 0x7FFFFFFF
+	})
+	if cpu.Flags&FlagCF == 0 {
+		t.Errorf("inc must preserve CF")
+	}
+	if cpu.Flags&FlagOF == 0 {
+		t.Errorf("inc of 0x7FFFFFFF must set OF")
+	}
+	cpu, _ = step(t, Inst{Op: DEC, R1: EAX}, func(cpu *CPU, _ sliceMem) {
+		cpu.Flags = FlagCF
+		cpu.R[EAX] = 0x80000000
+	})
+	if cpu.Flags&FlagCF == 0 || cpu.Flags&FlagOF == 0 {
+		t.Errorf("dec flags %05b", cpu.Flags)
+	}
+}
+
+func TestAdcSbbChain(t *testing.T) {
+	// 64-bit add via ADD + ADC: (2^32-1,1) + (1,0) = (0, 2).
+	cpu, _ := step(t, Inst{Op: ADDrr, R1: EAX, R2: EBX}, func(cpu *CPU, _ sliceMem) {
+		cpu.R[EAX], cpu.R[EBX] = 0xFFFFFFFF, 1
+	})
+	if cpu.Flags&FlagCF == 0 {
+		t.Fatalf("no carry")
+	}
+	in := Inst{Op: ADCrr, R1: ECX, R2: EDX}
+	cpu.R[ECX], cpu.R[EDX] = 1, 0
+	if _, err := Step(cpu, sliceMem{}, &in); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.R[ECX] != 2 {
+		t.Errorf("adc result %d", cpu.R[ECX])
+	}
+	// SBB with borrow.
+	cpu2, _ := step(t, Inst{Op: SUBrr, R1: EAX, R2: EBX}, func(cpu *CPU, _ sliceMem) {
+		cpu.R[EAX], cpu.R[EBX] = 0, 1 // borrow out
+	})
+	in = Inst{Op: SBBrr, R1: ECX, R2: EDX}
+	cpu2.R[ECX], cpu2.R[EDX] = 5, 2
+	if _, err := Step(cpu2, sliceMem{}, &in); err != nil {
+		t.Fatal(err)
+	}
+	if cpu2.R[ECX] != 2 { // 5 - 2 - 1
+		t.Errorf("sbb result %d", cpu2.R[ECX])
+	}
+}
+
+func TestNegNot(t *testing.T) {
+	cpu, _ := step(t, Inst{Op: NEG, R1: EAX}, func(cpu *CPU, _ sliceMem) { cpu.R[EAX] = 5 })
+	if int32(cpu.R[EAX]) != -5 || cpu.Flags&FlagCF == 0 {
+		t.Errorf("neg 5: %d flags %05b", int32(cpu.R[EAX]), cpu.Flags)
+	}
+	cpu, _ = step(t, Inst{Op: NEG, R1: EAX}, nil)
+	if cpu.R[EAX] != 0 || cpu.Flags&FlagCF != 0 {
+		t.Errorf("neg 0 must clear CF")
+	}
+	cpu, _ = step(t, Inst{Op: NOT, R1: EAX}, func(cpu *CPU, _ sliceMem) { cpu.R[EAX] = 0xF0F0F0F0 })
+	if cpu.R[EAX] != 0x0F0F0F0F {
+		t.Errorf("not %#x", cpu.R[EAX])
+	}
+}
+
+func TestPushPopCallRet(t *testing.T) {
+	cpu, mem := step(t, Inst{Op: PUSH, R1: EAX}, func(cpu *CPU, _ sliceMem) { cpu.R[EAX] = 0xDEAD })
+	if cpu.R[ESP] != 0x9000-4 {
+		t.Errorf("esp %#x", cpu.R[ESP])
+	}
+	v, _ := mem.Load32(cpu.R[ESP])
+	if v != 0xDEAD {
+		t.Errorf("pushed %#x", v)
+	}
+	in := Inst{Op: POP, R1: EBX}
+	if _, err := Step(cpu, mem, &in); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.R[EBX] != 0xDEAD || cpu.R[ESP] != 0x9000 {
+		t.Errorf("pop %#x esp %#x", cpu.R[EBX], cpu.R[ESP])
+	}
+
+	// CALL pushes the return address and jumps.
+	cpu, mem = step(t, Inst{Op: CALL, Imm: 0x100}, nil)
+	want := uint32(0x1000 + 5 + 0x100)
+	if cpu.EIP != want {
+		t.Errorf("call eip %#x want %#x", cpu.EIP, want)
+	}
+	ret, _ := mem.Load32(cpu.R[ESP])
+	if ret != 0x1005 {
+		t.Errorf("return addr %#x", ret)
+	}
+	in = Inst{Op: RET}
+	if _, err := Step(cpu, mem, &in); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.EIP != 0x1005 || cpu.R[ESP] != 0x9000 {
+		t.Errorf("ret eip %#x esp %#x", cpu.EIP, cpu.R[ESP])
+	}
+}
+
+func TestPopIntoESP(t *testing.T) {
+	cpu, _ := step(t, Inst{Op: POP, R1: ESP}, func(cpu *CPU, mem sliceMem) {
+		mem.Store32(0x9000, 0x1234)
+	})
+	if cpu.R[ESP] != 0x1234 {
+		t.Errorf("pop esp = %#x, want popped value to win", cpu.R[ESP])
+	}
+}
+
+func TestIndexedAddressing(t *testing.T) {
+	cpu, mem := step(t, Inst{Op: STOREX, R1: EAX, R2: EBX, R3: ECX, Scale: 2, Imm: 8},
+		func(cpu *CPU, _ sliceMem) {
+			cpu.R[EAX] = 77
+			cpu.R[EBX] = 0x100
+			cpu.R[ECX] = 3
+		})
+	v, _ := mem.Load32(0x100 + 3*4 + 8)
+	if v != 77 {
+		t.Errorf("storex missed: %d", v)
+	}
+	in := Inst{Op: LOADX, R1: EDX, R2: EBX, R3: ECX, Scale: 2, Imm: 8}
+	if _, err := Step(cpu, mem, &in); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.R[EDX] != 77 {
+		t.Errorf("loadx %d", cpu.R[EDX])
+	}
+	// LEA computes without touching memory.
+	cpu, _ = step(t, Inst{Op: LEA, R1: EAX, R2: EBX, R3: ECX, Scale: 3, Imm: -4},
+		func(cpu *CPU, _ sliceMem) {
+			cpu.R[EBX], cpu.R[ECX] = 0x1000, 2
+		})
+	if cpu.R[EAX] != 0x1000+16-4 {
+		t.Errorf("lea %#x", cpu.R[EAX])
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	cpu, mem := step(t, Inst{Op: MOVS}, func(cpu *CPU, mem sliceMem) {
+		for i := uint32(0); i < 8; i++ {
+			mem[0x200+i] = byte('a' + i)
+		}
+		cpu.R[ESI], cpu.R[EDI], cpu.R[ECX] = 0x200, 0x300, 8
+	})
+	if cpu.R[ECX] != 0 || cpu.R[ESI] != 0x208 || cpu.R[EDI] != 0x308 {
+		t.Errorf("movs regs: ecx=%d esi=%#x edi=%#x", cpu.R[ECX], cpu.R[ESI], cpu.R[EDI])
+	}
+	for i := uint32(0); i < 8; i++ {
+		if mem[0x300+i] != byte('a'+i) {
+			t.Errorf("movs byte %d = %c", i, mem[0x300+i])
+		}
+	}
+	cpu, mem = step(t, Inst{Op: STOS}, func(cpu *CPU, _ sliceMem) {
+		cpu.R[EAX] = 0x5A
+		cpu.R[EDI], cpu.R[ECX] = 0x400, 4
+	})
+	for i := uint32(0); i < 4; i++ {
+		if mem[0x400+i] != 0x5A {
+			t.Errorf("stos byte %d = %#x", i, mem[0x400+i])
+		}
+	}
+	// ECX = 0 is a no-op.
+	cpu, _ = step(t, Inst{Op: MOVS}, func(cpu *CPU, _ sliceMem) {
+		cpu.R[ECX] = 0
+		cpu.R[ESI], cpu.R[EDI] = 0x200, 0x300
+	})
+	if cpu.R[ESI] != 0x200 || cpu.R[EDI] != 0x300 {
+		t.Errorf("movs with ecx=0 moved pointers")
+	}
+}
+
+func TestFPOps(t *testing.T) {
+	cpu, _ := step(t, Inst{Op: FADD, R1: 0, R2: 1}, func(cpu *CPU, _ sliceMem) {
+		cpu.F[0], cpu.F[1] = 1.5, 2.25
+	})
+	if cpu.F[0] != 3.75 {
+		t.Errorf("fadd %g", cpu.F[0])
+	}
+	cpu, _ = step(t, Inst{Op: FSQRT, R1: 2, R2: 3}, func(cpu *CPU, _ sliceMem) {
+		cpu.F[3] = 16
+	})
+	if cpu.F[2] != 4 {
+		t.Errorf("fsqrt %g", cpu.F[2])
+	}
+	// FCMP flag encodings.
+	check := func(a, b float64, want uint32) {
+		cpu, _ := step(t, Inst{Op: FCMP, R1: 0, R2: 1}, func(cpu *CPU, _ sliceMem) {
+			cpu.F[0], cpu.F[1] = a, b
+		})
+		if cpu.Flags != want {
+			t.Errorf("fcmp(%g,%g) flags %05b want %05b", a, b, cpu.Flags, want)
+		}
+	}
+	check(1, 2, FlagCF)
+	check(2, 1, 0)
+	check(2, 2, FlagZF)
+	check(math.NaN(), 1, FlagZF|FlagCF|FlagPF)
+}
+
+func TestCVTSaturation(t *testing.T) {
+	cases := []struct {
+		f float64
+		i int32
+	}{
+		{1.9, 1},
+		{-1.9, -1},
+		{3e9, math.MinInt32},
+		{-3e9, math.MinInt32},
+		{math.NaN(), math.MinInt32},
+		{2147483647, 2147483647},
+	}
+	for _, c := range cases {
+		cpu, _ := step(t, Inst{Op: CVTFI, R1: EAX, R2: 1}, func(cpu *CPU, _ sliceMem) {
+			cpu.F[1] = c.f
+		})
+		if int32(cpu.R[EAX]) != c.i {
+			t.Errorf("cvtfi(%g) = %d, want %d", c.f, int32(cpu.R[EAX]), c.i)
+		}
+	}
+	cpu, _ := step(t, Inst{Op: CVTIF, R1: 2, R2: EBX}, func(cpu *CPU, _ sliceMem) {
+		neg7 := int32(-7)
+		cpu.R[EBX] = uint32(neg7)
+	})
+	if cpu.F[2] != -7 {
+		t.Errorf("cvtif %g", cpu.F[2])
+	}
+}
+
+func TestCondBranches(t *testing.T) {
+	for _, op := range []Op{JE, JNE, JL, JLE, JG, JGE, JB, JAE} {
+		for _, taken := range []bool{true, false} {
+			var flags uint32
+			// Find a flag word with the desired outcome.
+			found := false
+			for f := uint32(0); f < 32; f++ {
+				if CondTaken(op, f) == taken {
+					flags = f
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%v: no flag pattern for taken=%v", op, taken)
+			}
+			cpu, _ := step(t, Inst{Op: op, Imm: 0x20}, func(cpu *CPU, _ sliceMem) {
+				cpu.Flags = flags
+			})
+			want := uint32(0x1005)
+			if taken {
+				want = 0x1005 + 0x20
+			}
+			if cpu.EIP != want {
+				t.Errorf("%v taken=%v: eip %#x want %#x", op, taken, cpu.EIP, want)
+			}
+		}
+	}
+}
+
+func TestHaltSyscallEvents(t *testing.T) {
+	cpu := &CPU{EIP: 0x1000}
+	in := Inst{Op: HALT}
+	ev, err := Step(cpu, sliceMem{}, &in)
+	if err != nil || ev != EvHalt {
+		t.Errorf("halt: ev=%v err=%v", ev, err)
+	}
+	in = Inst{Op: SYSCALL}
+	ev, err = Step(cpu, sliceMem{}, &in)
+	if err != nil || ev != EvSyscall {
+		t.Errorf("syscall: ev=%v err=%v", ev, err)
+	}
+}
+
+// TestStepDeterminism runs random instructions twice from identical
+// state and requires identical results.
+func TestStepDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		in := randInst(r)
+		var c1, c2 CPU
+		for j := range c1.R {
+			c1.R[j] = r.Uint32()
+		}
+		c1.R[ESP] = 0x8000 + r.Uint32()%0x1000
+		for j := range c1.F {
+			c1.F[j] = r.Float64() * 100
+		}
+		c1.Flags = r.Uint32() & AllFlags
+		c1.EIP = 0x1000
+		if in.Op == MOVS || in.Op == STOS {
+			c1.R[ECX] &= 0xFF // bounded work
+		}
+		c2 = c1
+		m1, m2 := sliceMem{}, sliceMem{}
+		_, err1 := Step(&c1, m1, &in)
+		_, err2 := Step(&c2, m2, &in)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%v: error divergence", &in)
+		}
+		if c1 != c2 {
+			t.Fatalf("%v: state divergence", &in)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package guest
+
+import "sort"
+
+// Segment is a contiguous range of initialised guest memory.
+type Segment struct {
+	Addr uint32
+	Data []byte
+}
+
+// Image is a loadable guest program: an entry point plus initialised
+// segments. It is what the assembler produces and what both functional
+// emulators load.
+type Image struct {
+	Entry    uint32
+	Segments []Segment
+	Labels   map[string]uint32 // assembler symbol table, for tooling
+}
+
+// Sort orders segments by address; loaders rely on it.
+func (im *Image) Sort() {
+	sort.Slice(im.Segments, func(i, j int) bool {
+		return im.Segments[i].Addr < im.Segments[j].Addr
+	})
+}
+
+// CodeAt returns the segment containing addr, if any.
+func (im *Image) CodeAt(addr uint32) (Segment, bool) {
+	for _, s := range im.Segments {
+		if addr >= s.Addr && addr < s.Addr+uint32(len(s.Data)) {
+			return s, true
+		}
+	}
+	return Segment{}, false
+}

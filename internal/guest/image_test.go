@@ -1,0 +1,26 @@
+package guest
+
+import "testing"
+
+func TestImageSortAndCodeAt(t *testing.T) {
+	im := &Image{Segments: []Segment{
+		{Addr: 0x5000, Data: make([]byte, 16)},
+		{Addr: 0x1000, Data: make([]byte, 32)},
+	}}
+	im.Sort()
+	if im.Segments[0].Addr != 0x1000 {
+		t.Fatalf("sort failed")
+	}
+	if _, ok := im.CodeAt(0x1010); !ok {
+		t.Errorf("address inside segment not found")
+	}
+	if _, ok := im.CodeAt(0x1020); ok {
+		t.Errorf("address past segment end found")
+	}
+	if _, ok := im.CodeAt(0x500f); !ok {
+		t.Errorf("last byte of second segment not found")
+	}
+	if _, ok := im.CodeAt(0x9000); ok {
+		t.Errorf("unmapped address found")
+	}
+}

@@ -1,0 +1,336 @@
+// Package guest defines GISA, the synthetic CISC guest ISA that stands in
+// for x86 in this DARCO reproduction, together with its encoder, decoder,
+// assembler, disassembler and single-instruction semantic core.
+//
+// GISA keeps the x86 properties that drive DARCO's published results:
+// condition-flag side effects on nearly every ALU instruction,
+// variable-length instruction encoding, complex string instructions that a
+// co-designed processor pushes into the software layer, and trigonometric
+// instructions that must be emulated in software on a RISC host.
+package guest
+
+// General purpose register indices. Names mirror IA-32 so that workload
+// listings read like the paper's environment.
+const (
+	EAX = iota
+	ECX
+	EDX
+	EBX
+	ESP
+	EBP
+	ESI
+	EDI
+	NumGPR
+)
+
+// NumFPR is the number of guest floating point registers (F0..F7).
+const NumFPR = 8
+
+// Flag bits in the guest FLAGS register.
+const (
+	FlagCF uint32 = 1 << iota // carry / borrow
+	FlagZF                    // zero
+	FlagSF                    // sign
+	FlagOF                    // signed overflow
+	FlagPF                    // parity of low result byte
+)
+
+// AllFlags is the mask of every architecturally defined flag bit.
+const AllFlags = FlagCF | FlagZF | FlagSF | FlagOF | FlagPF
+
+// GPRName reports the assembly name of a general purpose register.
+func GPRName(r uint8) string {
+	if int(r) < len(gprNames) {
+		return gprNames[r]
+	}
+	return "r?"
+}
+
+var gprNames = [...]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+
+// Op enumerates GISA opcodes.
+type Op uint8
+
+// Opcode space. The order is frozen: the byte value of an Op is its
+// encoding, so appending is safe but reordering is not.
+const (
+	BAD Op = iota // illegal instruction
+
+	NOP
+	HALT
+
+	// Data movement.
+	MOVri  // dst <- imm
+	MOVrr  // dst <- src
+	LOAD   // dst <- mem32[base+disp]
+	STORE  // mem32[base+disp] <- src
+	LOADX  // dst <- mem32[base + index<<scale + disp]
+	STOREX // mem32[base + index<<scale + disp] <- src
+	LOADB  // dst <- zeroext mem8[base+disp]
+	STOREB // mem8[base+disp] <- low byte of src
+	LEA    // dst <- base + index<<scale + disp (no memory access, no flags)
+
+	// Integer ALU, register-register and register-immediate forms.
+	ADDrr
+	ADDri
+	ADCrr // add with carry-in
+	SUBrr
+	SUBri
+	SBBrr // subtract with borrow-in
+	ANDrr
+	ANDri
+	ORrr
+	ORri
+	XORrr
+	XORri
+	CMPrr
+	CMPri
+	TESTrr
+	SHLri
+	SHRri
+	SARri
+	SHLrr
+	SHRrr
+	IMULrr
+	IMULri
+	IDIV // EAX <- EAX / src; EDX <- EAX mod src (deterministic on zero)
+	INC
+	DEC
+	NEG
+	NOT
+
+	// Stack.
+	PUSH
+	POP
+	PUSHI
+
+	// Control flow.
+	JMP
+	JE
+	JNE
+	JL
+	JLE
+	JG
+	JGE
+	JB
+	JAE
+	JMPr  // indirect jump through register
+	CALL  // direct call, pushes return EIP
+	CALLr // indirect call through register
+	RET
+
+	// Floating point (x87-flavoured, on F0..F7).
+	FLD   // fdst <- mem64[base+disp]
+	FST   // mem64[base+disp] <- fsrc
+	FLDI  // fdst <- float64 immediate
+	FMOV  // fdst <- fsrc
+	FADD  // fdst <- fdst + fsrc
+	FSUB  // fdst <- fdst - fsrc
+	FMUL  // fdst <- fdst * fsrc
+	FDIV  // fdst <- fdst / fsrc
+	FSIN  // fdst <- sin(fsrc)   (software emulated on the host)
+	FCOS  // fdst <- cos(fsrc)   (software emulated on the host)
+	FSQRT // fdst <- sqrt(fsrc)  (software emulated on the host)
+	FABS
+	FNEG
+	FCMP  // compare fdst, fsrc; sets ZF/CF like x86 FCOMI, PF on unordered
+	CVTIF // fdst <- float64(int32(src GPR))
+	CVTFI // dst GPR <- int32(fsrc), truncating
+
+	// Complex string instructions (handled by the software layer; a
+	// co-designed processor keeps these out of the translated hot path).
+	MOVS // while ECX>0: mem8[EDI] <- mem8[ESI]; ESI++; EDI++; ECX--
+	STOS // while ECX>0: mem8[EDI] <- AL; EDI++; ECX--
+
+	SYSCALL // service number in EAX; arguments in EBX, ECX, EDX
+
+	numOps
+)
+
+// NumOps is the count of defined opcodes, for table sizing.
+const NumOps = int(numOps)
+
+// Form describes the operand encoding shape of an instruction.
+type Form uint8
+
+// Encoding forms. Lengths include the opcode byte.
+const (
+	FormN   Form = iota // [op]                              1 byte
+	FormR1              // [op][reg]                         2 bytes
+	FormR               // [op][dst<<4|src]                  2 bytes
+	FormI               // [op][dst][imm32]                  6 bytes
+	FormM               // [op][reg<<4|base][disp32]         6 bytes
+	FormMX              // [op][reg<<4|base][scl<<4|idx][disp32] 7 bytes
+	FormB               // [op][rel32]                       5 bytes
+	FormF64             // [op][freg][imm64]                 10 bytes
+	FormImm             // [op][imm32]                       5 bytes
+)
+
+// FormLen reports the encoded length in bytes of each form.
+func FormLen(f Form) int {
+	switch f {
+	case FormN:
+		return 1
+	case FormR1, FormR:
+		return 2
+	case FormI, FormM:
+		return 6
+	case FormMX:
+		return 7
+	case FormB, FormImm:
+		return 5
+	case FormF64:
+		return 10
+	}
+	return 0
+}
+
+// Desc is the static description of an opcode.
+type Desc struct {
+	Name       string
+	Form       Form
+	FlagsW     uint32 // flags written
+	FlagsR     uint32 // flags read
+	IsBranch   bool   // conditional or unconditional control transfer
+	IsCond     bool   // conditional branch
+	IsIndirect bool   // target not statically known
+	IsCall     bool
+	IsRet      bool
+	IsMem      bool // touches data memory
+	IsFP       bool
+	IsString   bool // complex string instruction
+	Trig       bool // needs software emulation on the host (sin/cos/sqrt)
+}
+
+// arith is the flag set written by add/sub-family instructions.
+const arith = FlagCF | FlagZF | FlagSF | FlagOF | FlagPF
+
+// logicW is the flag set written by logic instructions (CF and OF cleared).
+const logicW = FlagCF | FlagZF | FlagSF | FlagOF | FlagPF
+
+// Descs indexes opcode descriptions by Op.
+var Descs = [NumOps]Desc{
+	BAD:  {Name: "bad", Form: FormN},
+	NOP:  {Name: "nop", Form: FormN},
+	HALT: {Name: "halt", Form: FormN},
+
+	MOVri:  {Name: "movri", Form: FormI},
+	MOVrr:  {Name: "movrr", Form: FormR},
+	LOAD:   {Name: "load", Form: FormM, IsMem: true},
+	STORE:  {Name: "store", Form: FormM, IsMem: true},
+	LOADX:  {Name: "loadx", Form: FormMX, IsMem: true},
+	STOREX: {Name: "storex", Form: FormMX, IsMem: true},
+	LOADB:  {Name: "loadb", Form: FormM, IsMem: true},
+	STOREB: {Name: "storeb", Form: FormM, IsMem: true},
+	LEA:    {Name: "lea", Form: FormMX},
+
+	ADDrr:  {Name: "addrr", Form: FormR, FlagsW: arith},
+	ADDri:  {Name: "addri", Form: FormI, FlagsW: arith},
+	ADCrr:  {Name: "adcrr", Form: FormR, FlagsW: arith, FlagsR: FlagCF},
+	SUBrr:  {Name: "subrr", Form: FormR, FlagsW: arith},
+	SUBri:  {Name: "subri", Form: FormI, FlagsW: arith},
+	SBBrr:  {Name: "sbbrr", Form: FormR, FlagsW: arith, FlagsR: FlagCF},
+	ANDrr:  {Name: "andrr", Form: FormR, FlagsW: logicW},
+	ANDri:  {Name: "andri", Form: FormI, FlagsW: logicW},
+	ORrr:   {Name: "orrr", Form: FormR, FlagsW: logicW},
+	ORri:   {Name: "orri", Form: FormI, FlagsW: logicW},
+	XORrr:  {Name: "xorrr", Form: FormR, FlagsW: logicW},
+	XORri:  {Name: "xorri", Form: FormI, FlagsW: logicW},
+	CMPrr:  {Name: "cmprr", Form: FormR, FlagsW: arith},
+	CMPri:  {Name: "cmpri", Form: FormI, FlagsW: arith},
+	TESTrr: {Name: "testrr", Form: FormR, FlagsW: logicW},
+	SHLri:  {Name: "shlri", Form: FormI, FlagsW: arith},
+	SHRri:  {Name: "shrri", Form: FormI, FlagsW: arith},
+	SARri:  {Name: "sarri", Form: FormI, FlagsW: arith},
+	SHLrr:  {Name: "shlrr", Form: FormR, FlagsW: arith},
+	SHRrr:  {Name: "shrrr", Form: FormR, FlagsW: arith},
+	IMULrr: {Name: "imulrr", Form: FormR, FlagsW: arith},
+	IMULri: {Name: "imulri", Form: FormI, FlagsW: arith},
+	IDIV:   {Name: "idiv", Form: FormR1},
+	INC:    {Name: "inc", Form: FormR1, FlagsW: FlagZF | FlagSF | FlagOF | FlagPF},
+	DEC:    {Name: "dec", Form: FormR1, FlagsW: FlagZF | FlagSF | FlagOF | FlagPF},
+	NEG:    {Name: "neg", Form: FormR1, FlagsW: arith},
+	NOT:    {Name: "not", Form: FormR1},
+
+	PUSH:  {Name: "push", Form: FormR1, IsMem: true},
+	POP:   {Name: "pop", Form: FormR1, IsMem: true},
+	PUSHI: {Name: "pushi", Form: FormImm, IsMem: true},
+
+	JMP: {Name: "jmp", Form: FormB, IsBranch: true},
+	JE:  {Name: "je", Form: FormB, IsBranch: true, IsCond: true, FlagsR: FlagZF},
+	JNE: {Name: "jne", Form: FormB, IsBranch: true, IsCond: true, FlagsR: FlagZF},
+	JL:  {Name: "jl", Form: FormB, IsBranch: true, IsCond: true, FlagsR: FlagSF | FlagOF},
+	JLE: {Name: "jle", Form: FormB, IsBranch: true, IsCond: true, FlagsR: FlagZF | FlagSF | FlagOF},
+	JG:  {Name: "jg", Form: FormB, IsBranch: true, IsCond: true, FlagsR: FlagZF | FlagSF | FlagOF},
+	JGE: {Name: "jge", Form: FormB, IsBranch: true, IsCond: true, FlagsR: FlagSF | FlagOF},
+	JB:  {Name: "jb", Form: FormB, IsBranch: true, IsCond: true, FlagsR: FlagCF},
+	JAE: {Name: "jae", Form: FormB, IsBranch: true, IsCond: true, FlagsR: FlagCF},
+
+	JMPr:  {Name: "jmpr", Form: FormR1, IsBranch: true, IsIndirect: true},
+	CALL:  {Name: "call", Form: FormB, IsBranch: true, IsCall: true, IsMem: true},
+	CALLr: {Name: "callr", Form: FormR1, IsBranch: true, IsCall: true, IsIndirect: true, IsMem: true},
+	RET:   {Name: "ret", Form: FormN, IsBranch: true, IsRet: true, IsIndirect: true, IsMem: true},
+
+	FLD:   {Name: "fld", Form: FormM, IsMem: true, IsFP: true},
+	FST:   {Name: "fst", Form: FormM, IsMem: true, IsFP: true},
+	FLDI:  {Name: "fldi", Form: FormF64, IsFP: true},
+	FMOV:  {Name: "fmov", Form: FormR, IsFP: true},
+	FADD:  {Name: "fadd", Form: FormR, IsFP: true},
+	FSUB:  {Name: "fsub", Form: FormR, IsFP: true},
+	FMUL:  {Name: "fmul", Form: FormR, IsFP: true},
+	FDIV:  {Name: "fdiv", Form: FormR, IsFP: true},
+	FSIN:  {Name: "fsin", Form: FormR, IsFP: true, Trig: true},
+	FCOS:  {Name: "fcos", Form: FormR, IsFP: true, Trig: true},
+	FSQRT: {Name: "fsqrt", Form: FormR, IsFP: true},
+	FABS:  {Name: "fabs", Form: FormR, IsFP: true},
+	FNEG:  {Name: "fneg", Form: FormR, IsFP: true},
+	FCMP:  {Name: "fcmp", Form: FormR, IsFP: true, FlagsW: arith},
+	CVTIF: {Name: "cvtif", Form: FormR, IsFP: true},
+	CVTFI: {Name: "cvtfi", Form: FormR, IsFP: true},
+
+	MOVS: {Name: "movs", Form: FormN, IsMem: true, IsString: true},
+	STOS: {Name: "stos", Form: FormN, IsMem: true, IsString: true},
+
+	SYSCALL: {Name: "syscall", Form: FormN},
+}
+
+// OpByName resolves an assembler mnemonic to its opcode.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(1); op < numOps; op++ {
+		d := Descs[op]
+		if d.Name != "" {
+			m[d.Name] = op
+		}
+	}
+	return m
+}()
+
+// EndsBasicBlock reports whether op terminates a basic block. Complex
+// string instructions end blocks because the software layer keeps them
+// out of translations (they execute in the interpreter safety net).
+func (op Op) EndsBasicBlock() bool {
+	d := &Descs[op]
+	return d.IsBranch || d.IsString || op == HALT || op == SYSCALL
+}
+
+// Desc returns the static description of op.
+func (op Op) Desc() *Desc {
+	if int(op) < NumOps {
+		return &Descs[op]
+	}
+	return &Descs[BAD]
+}
+
+func (op Op) String() string {
+	d := op.Desc()
+	if d.Name == "" {
+		return "op?"
+	}
+	return d.Name
+}

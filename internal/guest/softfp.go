@@ -1,0 +1,109 @@
+package guest
+
+import "math"
+
+// Software floating-point transcendentals.
+//
+// The host RISC ISA has no sin/cos instruction, so the translator expands
+// guest FSIN/FCOS into a straight-line host sequence: range reduction via
+// truncating conversion followed by a Horner evaluation of a Taylor
+// polynomial. These Go functions are the reference for that sequence and
+// are written one IEEE-754 operation per statement so that the emitted
+// host code — executed one instruction at a time by the host emulator —
+// produces bit-identical results. Keep them in lock step with
+// tol/trans.go's emitTrig; the differential tests enforce the pairing.
+
+// TwoPi and InvTwoPi are the range-reduction constants shared with the
+// translator.
+const (
+	TwoPi    = 6.283185307179586
+	InvTwoPi = 0.15915494309189535
+)
+
+// SinCoef holds Horner coefficients for sin(y)/y over (-2π, 2π):
+// odd-power Taylor terms 1/1! .. -1/19!.
+var SinCoef = [10]float64{
+	1.0,
+	-1.0 / 6,
+	1.0 / 120,
+	-1.0 / 5040,
+	1.0 / 362880,
+	-1.0 / 39916800,
+	1.0 / 6227020800,
+	-1.0 / 1307674368000,
+	1.0 / 355687428096000,
+	-1.0 / 121645100408832000,
+}
+
+// CosCoef holds Horner coefficients for cos(y) over [-π, π]:
+// even-power Taylor terms 1/0! .. -1/18!.
+var CosCoef = [10]float64{
+	1.0,
+	-1.0 / 2,
+	1.0 / 24,
+	-1.0 / 720,
+	1.0 / 40320,
+	-1.0 / 3628800,
+	1.0 / 479001600,
+	-1.0 / 87178291200,
+	1.0 / 20922789888000,
+	-1.0 / 6402373705728000,
+}
+
+// ReduceTwoPi performs the shared range reduction
+// y = x - round(x/2π)·2π, leaving y in [-π, π] (for inputs whose
+// quotient fits an int32; beyond that the result is deterministic but
+// unreduced, matching the translated host sequence exactly). Rounding
+// is expressed branch-free with comparisons so the translator emits the
+// identical operation sequence.
+func ReduceTwoPi(x float64) float64 {
+	q := x * InvTwoPi
+	n := float64(truncF64(q))
+	r := q - n
+	up := b2f(r > 0.5)
+	down := b2f(r < -0.5)
+	n1 := n + up
+	n2 := n1 - down
+	m := n2 * TwoPi
+	y := x - m
+	return y
+}
+
+// b2f mirrors the host FSLT→FCVTF sequence: a comparison producing 0/1
+// converted to float64.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SoftSin is the reference software sine matching the translated host
+// sequence operation for operation.
+func SoftSin(x float64) float64 {
+	y := ReduceTwoPi(x)
+	y2 := y * y
+	acc := SinCoef[len(SinCoef)-1]
+	for i := len(SinCoef) - 2; i >= 0; i-- {
+		t := acc * y2
+		acc = t + SinCoef[i]
+	}
+	r := acc * y
+	return r
+}
+
+// SoftCos is the reference software cosine matching the translated host
+// sequence operation for operation.
+func SoftCos(x float64) float64 {
+	y := ReduceTwoPi(x)
+	y2 := y * y
+	acc := CosCoef[len(CosCoef)-1]
+	for i := len(CosCoef) - 2; i >= 0; i-- {
+		t := acc * y2
+		acc = t + CosCoef[i]
+	}
+	return acc
+}
+
+// SoftSqrt maps directly onto the host FSQRT unit.
+func SoftSqrt(x float64) float64 { return math.Sqrt(x) }

@@ -1,0 +1,69 @@
+package guest
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSoftSinAccuracy bounds the polynomial error against math.Sin over
+// the primary range.
+func TestSoftSinAccuracy(t *testing.T) {
+	for x := -20.0; x <= 20.0; x += 0.0137 {
+		got := SoftSin(x)
+		want := math.Sin(x)
+		if math.Abs(got-want) > 1e-7 {
+			t.Fatalf("SoftSin(%g) = %g, want %g (err %g)", x, got, want, got-want)
+		}
+	}
+}
+
+func TestSoftCosAccuracy(t *testing.T) {
+	for x := -20.0; x <= 20.0; x += 0.0171 {
+		got := SoftCos(x)
+		want := math.Cos(x)
+		if math.Abs(got-want) > 1e-7 {
+			t.Fatalf("SoftCos(%g) = %g, want %g (err %g)", x, got, want, got-want)
+		}
+	}
+}
+
+// TestReduceTwoPiRange: reduction lands in (-2π, 2π) for finite inputs
+// within the int32-quotient range.
+func TestReduceTwoPiRange(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.Abs(x) > 1e9 {
+			return true
+		}
+		y := ReduceTwoPi(x)
+		return y >= -TwoPi/2-1e-9 && y <= TwoPi/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSoftTrigDeterminism: repeated evaluation is bit-identical (the
+// translated host sequence depends on it).
+func TestSoftTrigDeterminism(t *testing.T) {
+	inputs := []float64{0, 1, -1, 3.14159, 1e6, -1e6, 1e300, math.Inf(1), math.NaN(), 0.5, 123.456}
+	for _, x := range inputs {
+		a, b := SoftSin(x), SoftSin(x)
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Errorf("SoftSin(%g) nondeterministic", x)
+		}
+		c, d := SoftCos(x), SoftCos(x)
+		if math.Float64bits(c) != math.Float64bits(d) {
+			t.Errorf("SoftCos(%g) nondeterministic", x)
+		}
+	}
+}
+
+func TestSoftSqrt(t *testing.T) {
+	if SoftSqrt(144) != 12 {
+		t.Errorf("sqrt(144) = %g", SoftSqrt(144))
+	}
+	if !math.IsNaN(SoftSqrt(-1)) {
+		t.Errorf("sqrt(-1) should be NaN")
+	}
+}

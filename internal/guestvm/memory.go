@@ -1,0 +1,263 @@
+// Package guestvm implements the paper's "x86 component": the
+// authoritative guest functional emulator. It runs the unmodified guest
+// binary, owns the authoritative architectural and memory state, services
+// system calls, and answers the controller's page requests so the
+// co-designed component can lazily populate its emulated memory.
+package guestvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"darco/internal/guest"
+)
+
+// PageSize is the guest page granularity used for controller transfers.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PageFaultError reports an access to a page the memory does not hold.
+// The co-designed component surfaces it to the controller as a data
+// request; the authoritative memory never returns it (it allocates
+// zero-filled pages on demand).
+type PageFaultError struct {
+	Addr uint32
+	Page uint32
+}
+
+func (e *PageFaultError) Error() string {
+	return fmt.Sprintf("page fault at %#x (page %#x)", e.Addr, e.Page)
+}
+
+// PageFaultAddr lets the host emulator classify the fault without
+// importing this package's concrete type.
+func (e *PageFaultError) PageFaultAddr() uint32 { return e.Addr }
+
+// Memory is a sparse paged guest memory. The zero value is ready to use.
+// With Strict unset, touching an unmapped page allocates it zero-filled
+// (authoritative behaviour). With Strict set, loads and stores to
+// unmapped pages return *PageFaultError (co-designed behaviour).
+type Memory struct {
+	pages  map[uint32]*[PageSize]byte
+	Strict bool
+}
+
+// NewMemory returns an empty memory.
+func NewMemory(strict bool) *Memory {
+	return &Memory{pages: make(map[uint32]*[PageSize]byte), Strict: strict}
+}
+
+// page returns the page containing addr, faulting or allocating per mode.
+func (m *Memory) page(addr uint32) (*[PageSize]byte, error) {
+	pn := addr >> PageShift
+	if p, ok := m.pages[pn]; ok {
+		return p, nil
+	}
+	if m.Strict {
+		return nil, &PageFaultError{Addr: addr, Page: pn << PageShift}
+	}
+	p := new([PageSize]byte)
+	if m.pages == nil {
+		m.pages = make(map[uint32]*[PageSize]byte)
+	}
+	m.pages[pn] = p
+	return p, nil
+}
+
+// Clone deep-copies the memory (debug toolchain replay).
+func (m *Memory) Clone() *Memory {
+	out := NewMemory(m.Strict)
+	for pn, p := range m.pages {
+		cp := *p
+		out.pages[pn] = &cp
+	}
+	return out
+}
+
+// InstallPage maps a page image at the page containing addr.
+func (m *Memory) InstallPage(pageAddr uint32, data *[PageSize]byte) {
+	if m.pages == nil {
+		m.pages = make(map[uint32]*[PageSize]byte)
+	}
+	cp := *data
+	m.pages[pageAddr>>PageShift] = &cp
+}
+
+// PageData returns a copy of the page containing addr, allocating it if
+// the memory is non-strict.
+func (m *Memory) PageData(addr uint32) (*[PageSize]byte, error) {
+	p, err := m.page(addr)
+	if err != nil {
+		return nil, err
+	}
+	cp := *p
+	return &cp, nil
+}
+
+// HasPage reports whether the page containing addr is mapped.
+func (m *Memory) HasPage(addr uint32) bool {
+	_, ok := m.pages[addr>>PageShift]
+	return ok
+}
+
+// PageCount reports the number of mapped pages.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Pages returns the sorted list of mapped page base addresses.
+func (m *Memory) Pages() []uint32 {
+	out := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		out = append(out, pn<<PageShift)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Load8 implements guest.Memory.
+func (m *Memory) Load8(addr uint32) (uint8, error) {
+	p, err := m.page(addr)
+	if err != nil {
+		return 0, err
+	}
+	return p[addr&(PageSize-1)], nil
+}
+
+// Store8 implements guest.Memory.
+func (m *Memory) Store8(addr uint32, v uint8) error {
+	p, err := m.page(addr)
+	if err != nil {
+		return err
+	}
+	p[addr&(PageSize-1)] = v
+	return nil
+}
+
+// Load32 implements guest.Memory. Accesses may straddle pages.
+func (m *Memory) Load32(addr uint32) (uint32, error) {
+	if addr&(PageSize-1) <= PageSize-4 {
+		p, err := m.page(addr)
+		if err != nil {
+			return 0, err
+		}
+		off := addr & (PageSize - 1)
+		return binary.LittleEndian.Uint32(p[off : off+4]), nil
+	}
+	var b [4]byte
+	for i := range b {
+		v, err := m.Load8(addr + uint32(i))
+		if err != nil {
+			return 0, err
+		}
+		b[i] = v
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// Store32 implements guest.Memory.
+func (m *Memory) Store32(addr uint32, v uint32) error {
+	if addr&(PageSize-1) <= PageSize-4 {
+		p, err := m.page(addr)
+		if err != nil {
+			return err
+		}
+		off := addr & (PageSize - 1)
+		binary.LittleEndian.PutUint32(p[off:off+4], v)
+		return nil
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	for i := range b {
+		if err := m.Store8(addr+uint32(i), b[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load64 implements guest.Memory.
+func (m *Memory) Load64(addr uint32) (uint64, error) {
+	lo, err := m.Load32(addr)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := m.Load32(addr + 4)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(hi)<<32 | uint64(lo), nil
+}
+
+// Store64 implements guest.Memory.
+func (m *Memory) Store64(addr uint32, v uint64) error {
+	if err := m.Store32(addr, uint32(v)); err != nil {
+		return err
+	}
+	return m.Store32(addr+4, uint32(v>>32))
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr uint32, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := range out {
+		v, err := m.Load8(addr + uint32(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// WriteBytes stores b starting at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) error {
+	for i, v := range b {
+		if err := m.Store8(addr+uint32(i), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadImage installs every segment of an image.
+func (m *Memory) LoadImage(im *guest.Image) error {
+	for _, s := range im.Segments {
+		if err := m.WriteBytes(s.Addr, s.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two memories hold identical content, treating
+// unmapped pages as zero. It returns the first differing address when
+// not equal.
+func (m *Memory) Equal(o *Memory) (bool, uint32) {
+	check := func(a, b *Memory) (bool, uint32) {
+		for pn, p := range a.pages {
+			q, ok := b.pages[pn]
+			if !ok {
+				for i, v := range p {
+					if v != 0 {
+						return false, pn<<PageShift + uint32(i)
+					}
+				}
+				continue
+			}
+			if *p != *q {
+				for i := range p {
+					if p[i] != q[i] {
+						return false, pn<<PageShift + uint32(i)
+					}
+				}
+			}
+		}
+		return true, 0
+	}
+	if ok, addr := check(m, o); !ok {
+		return false, addr
+	}
+	return check(o, m)
+}

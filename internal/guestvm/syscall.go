@@ -1,0 +1,86 @@
+package guestvm
+
+import (
+	"fmt"
+
+	"darco/internal/guest"
+)
+
+// Guest system call numbers (passed in EAX).
+const (
+	SysExit   = 1  // EBX: exit code
+	SysWrite  = 4  // EBX: fd, ECX: buf, EDX: len; returns len in EAX
+	SysTime   = 13 // returns a deterministic monotonic tick in EAX
+	SysGetPID = 20 // returns a fixed pid in EAX
+	SysBrk    = 45 // EBX: requested break (0 queries); returns break in EAX
+)
+
+// FixedPID is the deterministic pid reported by SysGetPID; it doubles as
+// the process-tracker identity (the paper's CR3 analogue).
+const FixedPID = 0x1000
+
+// InitialBrk is the initial program break.
+const InitialBrk = 0x0200_0000
+
+// Env is the deterministic operating-system surface the authoritative
+// emulator exposes. Only the x86 component interacts with it; the
+// co-designed component receives the resulting state through the
+// controller, mirroring the paper's user-level-only co-designed model.
+type Env struct {
+	Output   []byte // bytes written to any fd via SysWrite
+	Exited   bool
+	ExitCode int32
+	Brk      uint32
+	Ticks    uint64 // SysTime counter
+
+	// SyscallCount counts serviced syscalls by number.
+	SyscallCount map[uint32]uint64
+}
+
+// NewEnv returns a fresh environment.
+func NewEnv() *Env {
+	return &Env{Brk: InitialBrk, SyscallCount: make(map[uint32]uint64)}
+}
+
+// Service handles the syscall selected by cpu state. It mutates only
+// EAX (result), the environment, and — for none of the current calls —
+// guest memory, which keeps co-designed synchronization to a register
+// copy. The instruction itself must already have been retired.
+func (e *Env) Service(cpu *guest.CPU, mem guest.Memory) error {
+	num := cpu.R[guest.EAX]
+	e.SyscallCount[num]++
+	switch num {
+	case SysExit:
+		e.Exited = true
+		e.ExitCode = int32(cpu.R[guest.EBX])
+		cpu.R[guest.EAX] = 0
+	case SysWrite:
+		buf := cpu.R[guest.ECX]
+		n := cpu.R[guest.EDX]
+		if n > 1<<20 {
+			return fmt.Errorf("guestvm: write of %d bytes exceeds limit", n)
+		}
+		for i := uint32(0); i < n; i++ {
+			b, err := mem.Load8(buf + i)
+			if err != nil {
+				return err
+			}
+			e.Output = append(e.Output, b)
+		}
+		cpu.R[guest.EAX] = n
+	case SysTime:
+		e.Ticks++
+		cpu.R[guest.EAX] = uint32(e.Ticks)
+	case SysGetPID:
+		cpu.R[guest.EAX] = FixedPID
+	case SysBrk:
+		req := cpu.R[guest.EBX]
+		if req > e.Brk && req < StackTop {
+			e.Brk = req
+		}
+		cpu.R[guest.EAX] = e.Brk
+	default:
+		return fmt.Errorf("guestvm: unknown syscall %d at eip %#x", num, cpu.EIP)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package guestvm
+
+import (
+	"fmt"
+
+	"darco/internal/guest"
+)
+
+// StackTop is where the guest stack begins (grows down).
+const StackTop = 0x7FF0_0000
+
+// StopReason tells a caller why VM.Run returned.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	StopHalt    StopReason = iota // program executed HALT or SysExit
+	StopSyscall                   // paused before servicing a syscall
+	StopBBLimit                   // reached the requested basic-block count
+	StopInsnLimit
+	StopError
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopHalt:
+		return "halt"
+	case StopSyscall:
+		return "syscall"
+	case StopBBLimit:
+		return "bb-limit"
+	case StopInsnLimit:
+		return "insn-limit"
+	}
+	return "error"
+}
+
+// VM is the authoritative guest functional emulator. It executes the
+// unmodified guest binary and owns the authoritative architectural and
+// memory state the controller validates the co-designed component
+// against.
+type VM struct {
+	CPU guest.CPU
+	Mem *Memory
+	Env *Env
+
+	Halted bool
+
+	// Statistics.
+	InsnCount uint64 // dynamic guest instructions retired
+	BBCount   uint64 // dynamic basic blocks retired
+
+	// BBFreq, when non-nil, accumulates per-basic-block execution
+	// frequencies (keyed by BB entry PC). The warm-up methodology uses
+	// it as the authoritative execution distribution.
+	BBFreq map[uint32]uint64
+
+	decode  map[uint32]guest.Inst
+	bbStart uint32
+	inBB    bool
+}
+
+// New creates a VM, loads the image, and prepares the stack.
+func New(im *guest.Image) (*VM, error) {
+	vm := &VM{Mem: NewMemory(false), Env: NewEnv(), decode: make(map[uint32]guest.Inst)}
+	if err := vm.Mem.LoadImage(im); err != nil {
+		return nil, err
+	}
+	vm.CPU.EIP = im.Entry
+	vm.CPU.R[guest.ESP] = StackTop
+	return vm, nil
+}
+
+// Fetch decodes the instruction at pc, through a decode cache.
+// Self-modifying code is out of scope for the reproduction (the paper's
+// workloads do not exercise it either).
+func (vm *VM) Fetch(pc uint32) (guest.Inst, error) {
+	if in, ok := vm.decode[pc]; ok {
+		return in, nil
+	}
+	var raw [10]byte
+	for i := range raw {
+		v, err := vm.Mem.Load8(pc + uint32(i))
+		if err != nil {
+			break
+		}
+		raw[i] = v
+	}
+	in, n := guest.Decode(raw[:])
+	if n == 0 {
+		return in, fmt.Errorf("guestvm: undecodable instruction at %#x", pc)
+	}
+	vm.decode[pc] = in
+	return in, nil
+}
+
+// Step executes exactly one instruction, servicing syscalls inline.
+func (vm *VM) Step() (guest.Event, error) {
+	in, err := vm.Fetch(vm.CPU.EIP)
+	if err != nil {
+		return guest.EvNone, err
+	}
+	if !vm.inBB {
+		vm.inBB = true
+		vm.bbStart = vm.CPU.EIP
+	}
+	ev, err := guest.Step(&vm.CPU, vm.Mem, &in)
+	if err != nil {
+		return ev, err
+	}
+	vm.InsnCount++
+	if in.Op.EndsBasicBlock() {
+		vm.BBCount++
+		vm.inBB = false
+		if vm.BBFreq != nil {
+			vm.BBFreq[vm.bbStart]++
+		}
+	}
+	switch ev {
+	case guest.EvHalt:
+		vm.Halted = true
+	case guest.EvSyscall:
+		if err := vm.Env.Service(&vm.CPU, vm.Mem); err != nil {
+			return ev, err
+		}
+		if vm.Env.Exited {
+			vm.Halted = true
+		}
+	}
+	return ev, nil
+}
+
+// RunLimits bounds a Run call. Zero fields mean unlimited.
+type RunLimits struct {
+	BBCount   uint64 // stop when vm.BBCount reaches this value
+	InsnCount uint64 // stop when vm.InsnCount reaches this value
+	StopAtSys bool   // pause *before* servicing the next syscall
+}
+
+// Run executes until a limit is reached or the program halts. With
+// StopAtSys, the VM pauses with EIP at the SYSCALL instruction so the
+// controller can orchestrate the synchronization phase.
+func (vm *VM) Run(lim RunLimits) (StopReason, error) {
+	for !vm.Halted {
+		if lim.BBCount > 0 && vm.BBCount >= lim.BBCount {
+			return StopBBLimit, nil
+		}
+		if lim.InsnCount > 0 && vm.InsnCount >= lim.InsnCount {
+			return StopInsnLimit, nil
+		}
+		if lim.StopAtSys {
+			in, err := vm.Fetch(vm.CPU.EIP)
+			if err != nil {
+				return StopError, err
+			}
+			if in.Op == guest.SYSCALL {
+				return StopSyscall, nil
+			}
+		}
+		if _, err := vm.Step(); err != nil {
+			return StopError, err
+		}
+	}
+	return StopHalt, nil
+}
+
+// ServiceSyscallAt executes the SYSCALL instruction the VM is paused at
+// and services it. The controller calls this during synchronization.
+func (vm *VM) ServiceSyscallAt() error {
+	in, err := vm.Fetch(vm.CPU.EIP)
+	if err != nil {
+		return err
+	}
+	if in.Op != guest.SYSCALL {
+		return fmt.Errorf("guestvm: not at a syscall (eip=%#x, op=%v)", vm.CPU.EIP, in.Op)
+	}
+	_, err = vm.Step()
+	return err
+}

@@ -1,0 +1,6 @@
+package host
+
+// RProfile is the scratch register the translator's embedded software
+// profiling counters clobber. Like RScratch it is never live across
+// translated instructions.
+const RProfile = 15

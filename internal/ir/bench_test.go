@@ -1,0 +1,49 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchRegion(seed int64) *Region {
+	r := rand.New(rand.NewSource(seed))
+	return randomRegion(r)
+}
+
+func BenchmarkOptimizePipeline(b *testing.B) {
+	base := benchRegion(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := cloneRegion(base)
+		reg.ForwardPass()
+		reg.CSE()
+		reg.DCE()
+		reg.MemOpt()
+		g := reg.BuildDDG()
+		reg.Schedule(g, 8)
+	}
+}
+
+func BenchmarkRegisterAllocation(b *testing.B) {
+	base := benchRegion(43)
+	base.ForwardPass()
+	base.DCE()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := cloneRegion(base)
+		reg.Allocate()
+	}
+}
+
+func BenchmarkCodegen(b *testing.B) {
+	reg := benchRegion(44)
+	reg.ForwardPass()
+	reg.DCE()
+	alloc := reg.Allocate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Generate(alloc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,440 @@
+package ir
+
+import (
+	"fmt"
+
+	"darco/internal/host"
+)
+
+// Code generation: scheduled, register-allocated IR → host instructions.
+//
+// Layout of an emitted block:
+//
+//	CHKPT                       architectural checkpoint
+//	<body>                      computation in temporaries
+//	...at each exit site:
+//	   [BEQZ cond, skip]        only for conditional exits
+//	   <parallel moves>         dirty architectural state → pinned regs
+//	   COMMIT                   drain the gated store buffer
+//	   EXIT/EXITIND             leave to guest PC
+//	   skip:
+//
+// Pinned registers are written only on taken exit paths, so the fall-
+// through continuation always sees intact architectural state.
+
+// GenResult is the output of code generation.
+type GenResult struct {
+	Code     []host.Inst
+	ExitMeta map[int]ExitInfo // host instruction index → retirement metadata
+	Spills   int
+}
+
+type gen struct {
+	r    *Region
+	a    *Alloc
+	out  []host.Inst
+	meta map[int]ExitInfo
+	err  error
+}
+
+// Generate lowers the region to host code.
+func (r *Region) Generate(a *Alloc) (*GenResult, error) {
+	g := &gen{r: r, a: a, meta: make(map[int]ExitInfo)}
+	g.emit(host.Inst{Op: host.CHKPT, Target: r.Entry, GPC: r.Entry})
+	for i := range r.Code {
+		g.inst(&r.Code[i])
+		if g.err != nil {
+			return nil, g.err
+		}
+	}
+	return &GenResult{Code: g.out, ExitMeta: g.meta, Spills: a.Spills}, nil
+}
+
+func (g *gen) emit(in host.Inst) int {
+	g.out = append(g.out, in)
+	return len(g.out) - 1
+}
+
+func (g *gen) fail(format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf("codegen: "+format, args...)
+	}
+}
+
+// readInt materialises an integer value into a register, using scr for
+// slot and immediate sources.
+func (g *gen) readInt(v ValueID, scr uint8, gpc uint32) uint8 {
+	l := g.a.Loc[v]
+	switch l.Kind {
+	case LocPinned, LocReg:
+		if l.FP {
+			g.fail("float value v%d read as int", v)
+			return scr
+		}
+		return uint8(l.N)
+	case LocSlot:
+		g.emit(host.Inst{Op: host.UNSPILLI, Rd: scr, Imm: int32(l.N), GPC: gpc})
+		return scr
+	case LocImm:
+		g.emit(host.Inst{Op: host.LI, Rd: scr, Imm: int32(g.a.ConstI[v]), GPC: gpc})
+		return scr
+	}
+	g.fail("value v%d has no location", v)
+	return scr
+}
+
+// readFP materialises a float value into an FP register.
+func (g *gen) readFP(v ValueID, scr uint8, gpc uint32) uint8 {
+	l := g.a.Loc[v]
+	switch l.Kind {
+	case LocPinned, LocReg:
+		if !l.FP {
+			g.fail("int value v%d read as float", v)
+			return scr
+		}
+		return uint8(l.N)
+	case LocSlot:
+		g.emit(host.Inst{Op: host.UNSPILLF, Rd: scr, Imm: int32(l.N), GPC: gpc})
+		return scr
+	case LocImm:
+		g.emit(host.Inst{Op: host.FLI, Rd: scr, F64: g.a.ConstF[v], GPC: gpc})
+		return scr
+	}
+	g.fail("value v%d has no location", v)
+	return scr
+}
+
+// dstInt returns the register to compute an integer result into and a
+// function that stores it to a spill slot if needed.
+func (g *gen) dstInt(v ValueID, gpc uint32) (uint8, func()) {
+	l := g.a.Loc[v]
+	switch l.Kind {
+	case LocReg:
+		return uint8(l.N), func() {}
+	case LocSlot:
+		slot := int32(l.N)
+		return IntScr1, func() {
+			g.emit(host.Inst{Op: host.SPILLI, Rd: IntScr1, Imm: slot, GPC: gpc})
+		}
+	case LocNone:
+		// Dead result (possible when DCE is disabled in ablations).
+		return IntScr1, func() {}
+	}
+	g.fail("bad destination location %v for v%d", l, v)
+	return IntScr1, func() {}
+}
+
+func (g *gen) dstFP(v ValueID, gpc uint32) (uint8, func()) {
+	l := g.a.Loc[v]
+	switch l.Kind {
+	case LocReg:
+		return uint8(l.N), func() {}
+	case LocSlot:
+		slot := int32(l.N)
+		return FPScr1, func() {
+			g.emit(host.Inst{Op: host.SPILLF, Rd: FPScr1, Imm: slot, GPC: gpc})
+		}
+	case LocNone:
+		return FPScr1, func() {}
+	}
+	g.fail("bad destination location %v for v%d", l, v)
+	return FPScr1, func() {}
+}
+
+// immOf reports the foldable immediate for value v, if it has one.
+func (g *gen) immOf(v ValueID) (int32, bool) {
+	if g.a.Loc[v].Kind == LocImm {
+		if c, ok := g.a.ConstI[v]; ok {
+			return int32(c), true
+		}
+	}
+	return 0, false
+}
+
+var intOpMap = map[Op]host.Op{
+	Add: host.ADD, Sub: host.SUB, Mul: host.MUL, Mulh: host.MULH,
+	Div: host.DIV, Rem: host.REM, And: host.AND, Or: host.OR, Xor: host.XOR,
+	Shl: host.SHL, Shr: host.SHR, Sar: host.SAR,
+	Slt: host.SLT, Sltu: host.SLTU, Seq: host.SEQ, Sne: host.SNE,
+}
+
+var immOpMap = map[Op]host.Op{
+	Add: host.ADDI, And: host.ANDI, Or: host.ORI, Xor: host.XORI,
+	Shl: host.SHLI, Shr: host.SHRI, Sar: host.SARI,
+}
+
+var fpOpMap = map[Op]host.Op{
+	Fadd: host.FADDH, Fsub: host.FSUBH, Fmul: host.FMULH, Fdiv: host.FDIVH,
+}
+
+func (g *gen) inst(in *Inst) {
+	gpc := in.GPC
+	switch in.Op {
+	case Nop, LiveIn:
+		// LiveIn values live in pinned registers; nothing to emit.
+	case ConstI:
+		if g.a.Loc[in.Dst].Kind == LocImm {
+			return
+		}
+		rd, fin := g.dstInt(in.Dst, gpc)
+		g.emit(host.Inst{Op: host.LI, Rd: rd, Imm: int32(in.ImmU), GPC: gpc})
+		fin()
+	case ConstF:
+		if g.a.Loc[in.Dst].Kind == LocImm {
+			return
+		}
+		fd, fin := g.dstFP(in.Dst, gpc)
+		g.emit(host.Inst{Op: host.FLI, Rd: fd, F64: in.ImmF, GPC: gpc})
+		fin()
+	case Mov:
+		ra := g.readInt(in.A, IntScr1, gpc)
+		rd, fin := g.dstInt(in.Dst, gpc)
+		g.emit(host.Inst{Op: host.MOVH, Rd: rd, Ra: ra, GPC: gpc})
+		fin()
+	case FMov:
+		fa := g.readFP(in.A, FPScr1, gpc)
+		fd, fin := g.dstFP(in.Dst, gpc)
+		g.emit(host.Inst{Op: host.FMOVH, Rd: fd, Ra: fa, GPC: gpc})
+		fin()
+
+	case Add, Sub, Mul, Mulh, Div, Rem, And, Or, Xor, Shl, Shr, Sar, Slt, Sltu, Seq, Sne:
+		ra := g.readInt(in.A, IntScr1, gpc)
+		rd, fin := g.dstInt(in.Dst, gpc)
+		if imm, ok := g.immOf(in.B); ok {
+			if hop, ok2 := immOpMap[in.Op]; ok2 {
+				g.emit(host.Inst{Op: hop, Rd: rd, Ra: ra, Imm: imm, GPC: gpc})
+				fin()
+				return
+			}
+			if in.Op == Sub {
+				g.emit(host.Inst{Op: host.ADDI, Rd: rd, Ra: ra, Imm: -imm, GPC: gpc})
+				fin()
+				return
+			}
+		}
+		rb := g.readInt(in.B, IntScr2, gpc)
+		g.emit(host.Inst{Op: intOpMap[in.Op], Rd: rd, Ra: ra, Rb: rb, GPC: gpc})
+		fin()
+
+	case Ld32, Ld8:
+		ra := g.readInt(in.A, IntScr1, gpc)
+		rd, fin := g.dstInt(in.Dst, gpc)
+		hop := host.LD
+		if in.Op == Ld8 {
+			hop = host.LDB
+		}
+		g.emit(host.Inst{Op: hop, Rd: rd, Ra: ra, Imm: in.Off, Spec: in.Spec, GPC: gpc})
+		fin()
+	case LdF:
+		ra := g.readInt(in.A, IntScr1, gpc)
+		fd, fin := g.dstFP(in.Dst, gpc)
+		g.emit(host.Inst{Op: host.FLDH, Rd: fd, Ra: ra, Imm: in.Off, Spec: in.Spec, GPC: gpc})
+		fin()
+	case St32, St8:
+		ra := g.readInt(in.A, IntScr1, gpc)
+		rb := g.readInt(in.B, IntScr2, gpc)
+		hop := host.ST
+		if in.Op == St8 {
+			hop = host.STB
+		}
+		g.emit(host.Inst{Op: hop, Rd: rb, Ra: ra, Imm: in.Off, Spec: in.Spec, GPC: gpc})
+	case StF:
+		ra := g.readInt(in.A, IntScr1, gpc)
+		fb := g.readFP(in.B, FPScr2, gpc)
+		g.emit(host.Inst{Op: host.FSTH, Rd: fb, Ra: ra, Imm: in.Off, Spec: in.Spec, GPC: gpc})
+
+	case Fadd, Fsub, Fmul, Fdiv:
+		fa := g.readFP(in.A, FPScr1, gpc)
+		fb := g.readFP(in.B, FPScr2, gpc)
+		fd, fin := g.dstFP(in.Dst, gpc)
+		g.emit(host.Inst{Op: fpOpMap[in.Op], Rd: fd, Ra: fa, Rb: fb, GPC: gpc})
+		fin()
+	case Fsqrt, Fabs, Fneg:
+		fa := g.readFP(in.A, FPScr1, gpc)
+		fd, fin := g.dstFP(in.Dst, gpc)
+		hop := host.FSQRTH
+		if in.Op == Fabs {
+			hop = host.FABSH
+		} else if in.Op == Fneg {
+			hop = host.FNEGH
+		}
+		g.emit(host.Inst{Op: hop, Rd: fd, Ra: fa, GPC: gpc})
+		fin()
+	case Fcvti:
+		fa := g.readFP(in.A, FPScr1, gpc)
+		rd, fin := g.dstInt(in.Dst, gpc)
+		g.emit(host.Inst{Op: host.FCVTI, Rd: rd, Ra: fa, GPC: gpc})
+		fin()
+	case Fcvtf:
+		ra := g.readInt(in.A, IntScr1, gpc)
+		fd, fin := g.dstFP(in.Dst, gpc)
+		g.emit(host.Inst{Op: host.FCVTF, Rd: fd, Ra: ra, GPC: gpc})
+		fin()
+	case Fslt, Fseq, Funord:
+		fa := g.readFP(in.A, FPScr1, gpc)
+		fb := g.readFP(in.B, FPScr2, gpc)
+		rd, fin := g.dstInt(in.Dst, gpc)
+		hop := host.FSLT
+		if in.Op == Fseq {
+			hop = host.FSEQ
+		} else if in.Op == Funord {
+			hop = host.FUNORD
+		}
+		g.emit(host.Inst{Op: hop, Rd: rd, Ra: fa, Rb: fb, GPC: gpc})
+		fin()
+
+	case Assert:
+		ra := g.readInt(in.A, IntScr1, gpc)
+		g.emit(host.Inst{Op: host.ASSERTH, Ra: ra, Target: g.r.Entry, GPC: gpc})
+
+	case SetArch:
+		// Eager architectural update (EagerFlags ablation): write the
+		// value straight into its pinned host register.
+		dst, fp := PinnedHostReg(in.Arch)
+		if fp {
+			fa := g.readFP(in.A, FPScr1, gpc)
+			g.emit(host.Inst{Op: host.FMOVH, Rd: dst, Ra: fa, GPC: gpc})
+		} else {
+			ra := g.readInt(in.A, IntScr1, gpc)
+			g.emit(host.Inst{Op: host.MOVH, Rd: dst, Ra: ra, GPC: gpc})
+		}
+
+	case Exit:
+		g.exitSeq(in, 0, false, gpc)
+	case ExitIf:
+		cond := g.readInt(in.A, IntScr1, gpc)
+		br := g.emit(host.Inst{Op: host.BEQZ, Ra: cond, GPC: gpc})
+		g.exitSeq(in, 0, false, gpc)
+		g.out[br].Imm = int32(len(g.out) - br - 1)
+	case ExitInd:
+		// Copy the target out of harm's way before the moves clobber
+		// pinned registers.
+		tl := g.a.Loc[in.A]
+		var tgt uint8
+		switch tl.Kind {
+		case LocReg:
+			tgt = uint8(tl.N)
+		case LocPinned:
+			g.emit(host.Inst{Op: host.MOVH, Rd: IntScr2, Ra: uint8(tl.N), GPC: gpc})
+			tgt = IntScr2
+		case LocSlot:
+			g.emit(host.Inst{Op: host.UNSPILLI, Rd: IntScr2, Imm: int32(tl.N), GPC: gpc})
+			tgt = IntScr2
+		case LocImm:
+			g.emit(host.Inst{Op: host.LI, Rd: IntScr2, Imm: int32(g.a.ConstI[in.A]), GPC: gpc})
+			tgt = IntScr2
+		default:
+			g.fail("exitind target v%d has no location", in.A)
+			return
+		}
+		g.exitSeq(in, tgt, true, gpc)
+
+	default:
+		g.fail("unhandled IR op %v", in.Op)
+	}
+}
+
+// exitSeq emits the writeback moves, COMMIT, and the exit instruction.
+func (g *gen) exitSeq(in *Inst, indirectReg uint8, indirect bool, gpc uint32) {
+	g.parallelMoves(in.State, gpc)
+	g.emit(host.Inst{Op: host.COMMIT, Target: in.ImmU, GPC: gpc})
+	var idx int
+	if indirect {
+		idx = g.emit(host.Inst{Op: host.EXITIND, Ra: indirectReg, GPC: gpc})
+	} else {
+		idx = g.emit(host.Inst{Op: host.EXIT, Target: in.ImmU, GPC: gpc})
+	}
+	g.meta[idx] = in.Meta
+}
+
+// move is one pending architectural writeback.
+type move struct {
+	dst    uint8 // pinned register
+	fp     bool
+	srcLoc Loc
+	srcVal ValueID
+}
+
+// parallelMoves writes the exit state into the pinned registers,
+// breaking pinned→pinned cycles with the scratch register.
+func (g *gen) parallelMoves(state []ArchVal, gpc uint32) {
+	var pending []move
+	for _, av := range state {
+		dst, fp := PinnedHostReg(av.Arch)
+		l := g.a.Loc[av.Val]
+		if l.Kind == LocPinned && uint8(l.N) == dst && l.FP == fp {
+			continue // value unchanged
+		}
+		pending = append(pending, move{dst: dst, fp: fp, srcLoc: l, srcVal: av.Val})
+	}
+	emitMove := func(m move, srcOverride int) {
+		switch {
+		case srcOverride >= 0:
+			if m.fp {
+				g.emit(host.Inst{Op: host.FMOVH, Rd: m.dst, Ra: uint8(srcOverride), GPC: gpc})
+			} else {
+				g.emit(host.Inst{Op: host.MOVH, Rd: m.dst, Ra: uint8(srcOverride), GPC: gpc})
+			}
+		case m.srcLoc.Kind == LocImm && !m.fp:
+			g.emit(host.Inst{Op: host.LI, Rd: m.dst, Imm: int32(g.a.ConstI[m.srcVal]), GPC: gpc})
+		case m.srcLoc.Kind == LocImm && m.fp:
+			g.emit(host.Inst{Op: host.FLI, Rd: m.dst, F64: g.a.ConstF[m.srcVal], GPC: gpc})
+		case m.srcLoc.Kind == LocSlot && !m.fp:
+			g.emit(host.Inst{Op: host.UNSPILLI, Rd: m.dst, Imm: int32(m.srcLoc.N), GPC: gpc})
+		case m.srcLoc.Kind == LocSlot && m.fp:
+			g.emit(host.Inst{Op: host.UNSPILLF, Rd: m.dst, Imm: int32(m.srcLoc.N), GPC: gpc})
+		case m.fp:
+			g.emit(host.Inst{Op: host.FMOVH, Rd: m.dst, Ra: uint8(m.srcLoc.N), GPC: gpc})
+		default:
+			g.emit(host.Inst{Op: host.MOVH, Rd: m.dst, Ra: uint8(m.srcLoc.N), GPC: gpc})
+		}
+	}
+	// redirected maps a pinned source register that was saved to scratch.
+	redirect := map[[2]interface{}]int{}
+	srcIsPinnedReg := func(m move, reg uint8, fp bool) bool {
+		return m.srcLoc.Kind == LocPinned && uint8(m.srcLoc.N) == reg && m.srcLoc.FP == fp
+	}
+	for len(pending) > 0 {
+		progress := false
+		for i := 0; i < len(pending); i++ {
+			m := pending[i]
+			blocked := false
+			for j := range pending {
+				if j == i {
+					continue
+				}
+				if srcIsPinnedReg(pending[j], m.dst, m.fp) {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			ov := -1
+			if k, ok := redirect[[2]interface{}{m.srcLoc, m.fp}]; ok && m.srcLoc.Kind == LocPinned {
+				ov = k
+			}
+			emitMove(m, ov)
+			pending = append(pending[:i], pending[i+1:]...)
+			progress = true
+			i--
+		}
+		if !progress {
+			// Cycle among pinned→pinned moves: save one destination's
+			// current value to scratch and retry.
+			m := pending[0]
+			scr := IntScr1
+			op := host.MOVH
+			if m.fp {
+				scr = FPScr1
+				op = host.FMOVH
+			}
+			// Every other move reading m.dst must now read scratch.
+			g.emit(host.Inst{Op: op, Rd: uint8(scr), Ra: m.dst, GPC: gpc})
+			redirect[[2]interface{}{Loc{Kind: LocPinned, N: int(m.dst), FP: m.fp}, m.fp}] = scr
+			emitMove(m, -1)
+			pending = pending[1:]
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package ir
+
+// Memory disambiguation and the data dependence graph (DDG).
+//
+// The DDG phase of the paper's optimizer: memory disambiguation
+// classifies every pair of accesses as never/must/may alias; redundant
+// load elimination and store forwarding remove memory operations whose
+// value is already known; dead stores overwritten before any observation
+// are dropped; and the resulting dependence graph feeds the list
+// scheduler, with may-alias store→load edges marked breakable so the
+// scheduler can hoist loads speculatively (converting them to
+// speculative memory operations checked by the alias table at runtime).
+
+// AliasClass is the result of memory disambiguation on an access pair.
+type AliasClass uint8
+
+// Alias classes.
+const (
+	AliasNever AliasClass = iota
+	AliasMust             // identical address and width
+	AliasMay
+)
+
+type memRef struct {
+	base  ValueID // 0 when the address is an absolute constant
+	abs   uint32  // absolute address when base == 0
+	off   int32
+	width uint8
+}
+
+func (r *Region) memRefOf(in *Inst, constOf map[ValueID]uint32) memRef {
+	ref := memRef{base: in.A, off: in.Off, width: in.MemWidth()}
+	if v, ok := constOf[in.A]; ok {
+		ref.base = 0
+		ref.abs = v + uint32(in.Off)
+		ref.off = 0
+	}
+	return ref
+}
+
+// classify disambiguates two memory references.
+func classify(a, b memRef) AliasClass {
+	if a.base == b.base {
+		lo1 := int64(a.off)
+		hi1 := lo1 + int64(a.width)
+		lo2 := int64(b.off)
+		hi2 := lo2 + int64(b.width)
+		if a.base == 0 {
+			lo1, hi1 = int64(a.abs), int64(a.abs)+int64(a.width)
+			lo2, hi2 = int64(b.abs), int64(b.abs)+int64(b.width)
+		}
+		switch {
+		case lo1 == lo2 && a.width == b.width:
+			return AliasMust
+		case hi1 <= lo2 || hi2 <= lo1:
+			return AliasNever
+		default:
+			return AliasMay
+		}
+	}
+	// Distinct symbolic bases may be anything.
+	return AliasMay
+}
+
+// constMap gathers ConstI definitions for absolute-address reasoning.
+func (r *Region) constMap() map[ValueID]uint32 {
+	m := make(map[ValueID]uint32)
+	for i := range r.Code {
+		if r.Code[i].Op == ConstI {
+			m[r.Code[i].Dst] = r.Code[i].ImmU
+		}
+	}
+	return m
+}
+
+// MemOptStats reports what the DDG memory phase removed.
+type MemOptStats struct {
+	LoadsEliminated  int // redundant load elimination + store forwarding
+	StoresEliminated int // dead stores overwritten before observation
+}
+
+// MemOpt performs redundant load elimination, store-to-load forwarding
+// and dead store elimination in one forward scan.
+func (r *Region) MemOpt() MemOptStats {
+	constOf := r.constMap()
+	type availEntry struct {
+		ref memRef
+		val ValueID
+	}
+	var avail []availEntry
+	type storeEntry struct {
+		ref      memRef
+		idx      int
+		observed bool // an exit or may-alias load occurred after it
+	}
+	var stores []storeEntry
+	resolve := make([]ValueID, r.NumValues+1)
+	res := func(v ValueID) ValueID {
+		for v != 0 && resolve[v] != 0 {
+			v = resolve[v]
+		}
+		return v
+	}
+	var st MemOptStats
+
+	observeAll := func() {
+		for j := range stores {
+			stores[j].observed = true
+		}
+	}
+
+	for i := range r.Code {
+		in := &r.Code[i]
+		in.A = res(in.A)
+		in.B = res(in.B)
+		for j := range in.State {
+			in.State[j].Val = res(in.State[j].Val)
+		}
+		switch {
+		case in.IsLoad():
+			ref := r.memRefOf(in, constOf)
+			hit := false
+			for _, e := range avail {
+				if classify(e.ref, ref) == AliasMust {
+					resolve[in.Dst] = e.val
+					in.Op = Nop
+					in.Dst, in.A = 0, 0
+					st.LoadsEliminated++
+					hit = true
+					break
+				}
+			}
+			if hit {
+				break
+			}
+			for j := range stores {
+				if classify(stores[j].ref, ref) != AliasNever {
+					stores[j].observed = true
+				}
+			}
+			avail = append(avail, availEntry{ref: ref, val: in.Dst})
+		case in.IsStore():
+			ref := r.memRefOf(in, constOf)
+			// Dead store elimination: a prior unobserved store to the
+			// exact location is overwritten.
+			for j := range stores {
+				if !stores[j].observed && classify(stores[j].ref, ref) == AliasMust {
+					dead := &r.Code[stores[j].idx]
+					dead.Op = Nop
+					dead.A, dead.B = 0, 0
+					st.StoresEliminated++
+					stores[j] = storeEntry{ref: ref, idx: i}
+					goto recorded
+				}
+			}
+			stores = append(stores, storeEntry{ref: ref, idx: i})
+		recorded:
+			// Kill may-aliasing availability; record the stored value.
+			kept := avail[:0]
+			for _, e := range avail {
+				if classify(e.ref, ref) == AliasNever {
+					kept = append(kept, e)
+				}
+			}
+			avail = append(kept, availEntry{ref: ref, val: in.B})
+		case in.IsExit():
+			// A (possible) commit makes every buffered store
+			// architecturally observable.
+			observeAll()
+		}
+	}
+	// Compact Nops.
+	out := r.Code[:0]
+	for i := range r.Code {
+		if r.Code[i].Op != Nop {
+			out = append(out, r.Code[i])
+		}
+	}
+	r.Code = out
+	return st
+}
+
+// Edge is one dependence in the DDG.
+type Edge struct {
+	From, To  int
+	Breakable bool // may-alias store→load order; scheduler may hoist speculatively
+}
+
+// DDG is the data dependence graph over the region's instructions.
+type DDG struct {
+	N     int
+	Succs [][]Edge
+	Preds [][]Edge
+}
+
+func (g *DDG) addEdge(from, to int, breakable bool) {
+	if from == to {
+		return
+	}
+	e := Edge{From: from, To: to, Breakable: breakable}
+	g.Succs[from] = append(g.Succs[from], e)
+	g.Preds[to] = append(g.Preds[to], e)
+}
+
+// BuildDDG constructs the dependence graph: true data dependences,
+// memory ordering edges from disambiguation, and control edges that pin
+// asserts and exits.
+func (r *Region) BuildDDG() *DDG {
+	n := len(r.Code)
+	g := &DDG{N: n, Succs: make([][]Edge, n), Preds: make([][]Edge, n)}
+	defIdx := make([]int, r.NumValues+1)
+	for i := range defIdx {
+		defIdx[i] = -1
+	}
+	constOf := r.constMap()
+
+	var memIdx []int  // loads and stores in order
+	var exitIdx []int // exits in order
+	var ctlIdx []int  // asserts and exits in order
+	lastExit := -1
+
+	for i := range r.Code {
+		in := &r.Code[i]
+		// Data edges.
+		in.Uses(func(v ValueID) {
+			if d := defIdx[v]; d >= 0 {
+				g.addEdge(d, i, false)
+			}
+		})
+		if in.Dst != 0 {
+			defIdx[in.Dst] = i
+		}
+
+		switch {
+		case in.IsLoad():
+			ref := r.memRefOf(in, constOf)
+			for _, m := range memIdx {
+				prev := &r.Code[m]
+				if !prev.IsStore() {
+					continue
+				}
+				pref := r.memRefOf(prev, constOf)
+				switch classify(pref, ref) {
+				case AliasMust:
+					g.addEdge(m, i, false) // should have been forwarded; keep order
+				case AliasMay:
+					g.addEdge(m, i, true) // breakable: speculative hoist allowed
+				}
+			}
+			if !r.UseAsserts && lastExit >= 0 {
+				g.addEdge(lastExit, i, false)
+			}
+			memIdx = append(memIdx, i)
+		case in.IsStore():
+			ref := r.memRefOf(in, constOf)
+			for _, m := range memIdx {
+				prev := &r.Code[m]
+				pref := r.memRefOf(prev, constOf)
+				if prev.IsStore() {
+					if classify(pref, ref) != AliasNever {
+						g.addEdge(m, i, false)
+					}
+				} else {
+					// Anti dependence: the store may not move above a
+					// preceding load it may alias with.
+					if classify(pref, ref) != AliasNever {
+						g.addEdge(m, i, false)
+					}
+				}
+			}
+			if !r.UseAsserts && lastExit >= 0 {
+				g.addEdge(lastExit, i, false)
+			}
+			memIdx = append(memIdx, i)
+		case in.Op == Assert:
+			// Asserts keep their relative order and precede every exit.
+			if len(ctlIdx) > 0 {
+				g.addEdge(ctlIdx[len(ctlIdx)-1], i, false)
+			}
+			ctlIdx = append(ctlIdx, i)
+		case in.IsExit():
+			// Exits are barriers: every earlier memory op and control
+			// op must complete first; later memory ops stay after.
+			for _, m := range memIdx {
+				g.addEdge(m, i, false)
+			}
+			if len(ctlIdx) > 0 {
+				g.addEdge(ctlIdx[len(ctlIdx)-1], i, false)
+			}
+			ctlIdx = append(ctlIdx, i)
+			exitIdx = append(exitIdx, i)
+			lastExit = i
+		}
+	}
+	_ = exitIdx
+	return g
+}

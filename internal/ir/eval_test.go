@@ -1,0 +1,153 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// evalState is a reference evaluator for linear IR regions, used to
+// check that optimization passes preserve semantics.
+type evalState struct {
+	vals   map[ValueID]uint64 // raw 64-bit storage; ints in low 32 bits
+	fvals  map[ValueID]float64
+	arch   map[ArchReg]uint64 // int arch regs
+	archF  map[ArchReg]float64
+	mem    map[uint32]byte
+	exited bool
+	exitPC uint32
+	final  map[ArchReg]uint64
+	finalF map[ArchReg]float64
+}
+
+func newEval(arch map[ArchReg]uint64, archF map[ArchReg]float64, mem map[uint32]byte) *evalState {
+	cp := make(map[uint32]byte, len(mem))
+	for k, v := range mem {
+		cp[k] = v
+	}
+	return &evalState{
+		vals: make(map[ValueID]uint64), fvals: make(map[ValueID]float64),
+		arch: arch, archF: archF, mem: cp,
+		final: make(map[ArchReg]uint64), finalF: make(map[ArchReg]float64),
+	}
+}
+
+func (e *evalState) ld(addr uint32, w uint8) uint64 {
+	var v uint64
+	for i := uint8(0); i < w; i++ {
+		v |= uint64(e.mem[addr+uint32(i)]) << (8 * i)
+	}
+	return v
+}
+
+func (e *evalState) st(addr uint32, w uint8, v uint64) {
+	for i := uint8(0); i < w; i++ {
+		e.mem[addr+uint32(i)] = byte(v >> (8 * i))
+	}
+}
+
+// run evaluates the region. Exit state snapshots land in final/finalF.
+// Asserts must hold (the evaluator does not model rollback); the random
+// generator never emits Assert.
+func (e *evalState) run(r *Region) error {
+	iv := func(v ValueID) uint32 { return uint32(e.vals[v]) }
+	fv := func(v ValueID) float64 { return e.fvals[v] }
+	for i := range r.Code {
+		in := &r.Code[i]
+		switch in.Op {
+		case Nop:
+		case LiveIn:
+			if in.Arch.IsFP() {
+				e.fvals[in.Dst] = e.archF[in.Arch]
+			} else {
+				e.vals[in.Dst] = e.arch[in.Arch]
+			}
+		case ConstI:
+			e.vals[in.Dst] = uint64(in.ImmU)
+		case ConstF:
+			e.fvals[in.Dst] = in.ImmF
+		case Mov:
+			e.vals[in.Dst] = e.vals[in.A]
+		case FMov:
+			e.fvals[in.Dst] = e.fvals[in.A]
+		case Add, Sub, Mul, Mulh, Div, Rem, And, Or, Xor, Shl, Shr, Sar, Slt, Sltu, Seq, Sne:
+			v, ok := foldInt(in.Op, iv(in.A), iv(in.B), true, true)
+			if !ok {
+				return fmt.Errorf("eval: unfoldable %v", in.Op)
+			}
+			e.vals[in.Dst] = uint64(v)
+		case Ld32:
+			e.vals[in.Dst] = e.ld(iv(in.A)+uint32(in.Off), 4)
+		case Ld8:
+			e.vals[in.Dst] = e.ld(iv(in.A)+uint32(in.Off), 1)
+		case LdF:
+			e.fvals[in.Dst] = math.Float64frombits(e.ld(iv(in.A)+uint32(in.Off), 8))
+		case St32:
+			e.st(iv(in.A)+uint32(in.Off), 4, uint64(iv(in.B)))
+		case St8:
+			e.st(iv(in.A)+uint32(in.Off), 1, uint64(iv(in.B)))
+		case StF:
+			e.st(iv(in.A)+uint32(in.Off), 8, math.Float64bits(fv(in.B)))
+		case Fadd:
+			e.fvals[in.Dst] = fv(in.A) + fv(in.B)
+		case Fsub:
+			e.fvals[in.Dst] = fv(in.A) - fv(in.B)
+		case Fmul:
+			e.fvals[in.Dst] = fv(in.A) * fv(in.B)
+		case Fdiv:
+			e.fvals[in.Dst] = fv(in.A) / fv(in.B)
+		case Fsqrt:
+			e.fvals[in.Dst] = math.Sqrt(fv(in.A))
+		case Fabs:
+			e.fvals[in.Dst] = math.Abs(fv(in.A))
+		case Fneg:
+			e.fvals[in.Dst] = -fv(in.A)
+		case Fcvti:
+			e.vals[in.Dst] = uint64(uint32(truncF64(fv(in.A))))
+		case Fcvtf:
+			e.fvals[in.Dst] = float64(int32(iv(in.A)))
+		case Fslt:
+			e.vals[in.Dst] = uint64(b2u(fv(in.A) < fv(in.B)))
+		case Fseq:
+			e.vals[in.Dst] = uint64(b2u(fv(in.A) == fv(in.B)))
+		case Funord:
+			e.vals[in.Dst] = uint64(b2u(math.IsNaN(fv(in.A)) || math.IsNaN(fv(in.B))))
+		case Exit:
+			e.snapshot(in)
+			e.exited = true
+			e.exitPC = in.ImmU
+			return nil
+		case ExitIf:
+			if iv(in.A) != 0 {
+				e.snapshot(in)
+				e.exited = true
+				e.exitPC = in.ImmU
+				return nil
+			}
+		case ExitInd:
+			e.snapshot(in)
+			e.exited = true
+			e.exitPC = iv(in.A)
+			return nil
+		case Assert:
+			if iv(in.A) == 0 {
+				return fmt.Errorf("eval: assert failed at %d", i)
+			}
+		case SetArch:
+			// Architectural write of a value the exit state also
+			// carries; no observable effect at region granularity.
+		default:
+			return fmt.Errorf("eval: unhandled op %v", in.Op)
+		}
+	}
+	return fmt.Errorf("eval: fell off region end")
+}
+
+func (e *evalState) snapshot(in *Inst) {
+	for _, av := range in.State {
+		if av.Arch.IsFP() {
+			e.finalF[av.Arch] = e.fvals[av.Val]
+		} else {
+			e.final[av.Arch] = e.vals[av.Val]
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Verify checks SSA invariants: every value is defined exactly once,
+// every use is dominated by its definition (defined earlier in the
+// linear region), and operand classes (int/float) are consistent.
+func (r *Region) Verify() error {
+	defAt := make([]int, r.NumValues+1)
+	for i := range defAt {
+		defAt[i] = -1
+	}
+	isFP := make([]bool, r.NumValues+1)
+	for i := range r.Code {
+		in := &r.Code[i]
+		var err error
+		in.Uses(func(v ValueID) {
+			if err != nil {
+				return
+			}
+			if v <= 0 || int(v) > r.NumValues {
+				err = fmt.Errorf("ir: inst %d uses out-of-range value v%d", i, v)
+			} else if defAt[v] < 0 {
+				err = fmt.Errorf("ir: inst %d uses v%d before definition", i, v)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if in.Dst != 0 {
+			if in.Dst <= 0 || int(in.Dst) > r.NumValues {
+				return fmt.Errorf("ir: inst %d defines out-of-range value v%d", i, in.Dst)
+			}
+			if defAt[in.Dst] >= 0 {
+				return fmt.Errorf("ir: value v%d redefined at inst %d (first at %d)", in.Dst, i, defAt[in.Dst])
+			}
+			defAt[in.Dst] = i
+			isFP[in.Dst] = in.FPResult()
+		}
+	}
+	// Class consistency on float-consuming ops.
+	for i := range r.Code {
+		in := &r.Code[i]
+		wantF := func(v ValueID) error {
+			if v != 0 && !isFP[v] {
+				return fmt.Errorf("ir: inst %d (%s) consumes int value v%d as float", i, in.Op, v)
+			}
+			return nil
+		}
+		switch in.Op {
+		case Fadd, Fsub, Fmul, Fdiv, Fslt, Fseq, Funord:
+			if err := wantF(in.A); err != nil {
+				return err
+			}
+			if err := wantF(in.B); err != nil {
+				return err
+			}
+		case Fsqrt, Fabs, Fneg, Fcvti, FMov, StF:
+			v := in.A
+			if in.Op == StF {
+				v = in.B
+			}
+			if err := wantF(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Optimize runs the paper's forward pass (constant folding, constant and
+// copy propagation, common subexpression elimination) followed by the
+// backward dead code elimination pass. Returns per-pass removal counts.
+func (r *Region) Optimize() (folded, csed, dce int) {
+	folded = r.ForwardPass()
+	csed = r.CSE()
+	dce = r.DCE()
+	return
+}
+
+// ForwardPass performs constant folding, constant propagation and copy
+// propagation in one forward scan, rewriting uses through a resolution
+// map. It returns the number of instructions reduced to simpler forms.
+func (r *Region) ForwardPass() int {
+	resolve := make([]ValueID, r.NumValues+1)
+	constI := make(map[ValueID]uint32)
+	constF := make(map[ValueID]float64)
+	changed := 0
+
+	res := func(v ValueID) ValueID {
+		for v != 0 && resolve[v] != 0 {
+			v = resolve[v]
+		}
+		return v
+	}
+
+	for i := range r.Code {
+		in := &r.Code[i]
+		in.A = res(in.A)
+		in.B = res(in.B)
+		for j := range in.State {
+			in.State[j].Val = res(in.State[j].Val)
+		}
+		switch in.Op {
+		case ConstI:
+			constI[in.Dst] = in.ImmU
+		case ConstF:
+			constF[in.Dst] = in.ImmF
+		case Mov, FMov:
+			// Copy propagation: all later uses see the source.
+			resolve[in.Dst] = in.A
+			in.Op = Nop
+			in.Dst, in.A = 0, 0
+			changed++
+		default:
+			if in.Dst == 0 {
+				continue
+			}
+			ca, aok := constI[in.A]
+			cb, bok := constI[in.B]
+			fa, faok := constF[in.A]
+			fb, fbok := constF[in.B]
+			if v, ok := foldInt(in.Op, ca, cb, aok, bok); ok {
+				in.Op = ConstI
+				in.ImmU = v
+				in.A, in.B = 0, 0
+				constI[in.Dst] = v
+				changed++
+				continue
+			}
+			if v, isInt, iv, ok := foldFloat(in.Op, fa, fb, faok, fbok); ok {
+				if isInt {
+					in.Op = ConstI
+					in.ImmU = iv
+				} else {
+					in.Op = ConstF
+					in.ImmF = v
+				}
+				in.A, in.B = 0, 0
+				if isInt {
+					constI[in.Dst] = iv
+				} else {
+					constF[in.Dst] = v
+				}
+				changed++
+				continue
+			}
+			// Algebraic identities with one constant operand.
+			if nv, ok := foldIdentity(in, ca, cb, aok, bok); ok {
+				resolve[in.Dst] = nv
+				in.Op = Nop
+				in.Dst, in.A, in.B = 0, 0, 0
+				changed++
+			}
+		}
+	}
+	return changed
+}
+
+// foldInt evaluates integer ops with constant operands, sharing the
+// deterministic division semantics of the guest and host ISAs.
+func foldInt(op Op, a, b uint32, aok, bok bool) (uint32, bool) {
+	if !aok || (!bok && op != Nop) {
+		return 0, false
+	}
+	switch op {
+	case Add:
+		return a + b, true
+	case Sub:
+		return a - b, true
+	case Mul:
+		return uint32(int32(a) * int32(b)), true
+	case Mulh:
+		return uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32), true
+	case Div:
+		switch {
+		case int32(b) == 0:
+			return 0xFFFFFFFF, true
+		case int32(a) == math.MinInt32 && int32(b) == -1:
+			return 0x80000000, true
+		default:
+			return uint32(int32(a) / int32(b)), true
+		}
+	case Rem:
+		switch {
+		case int32(b) == 0:
+			return a, true
+		case int32(a) == math.MinInt32 && int32(b) == -1:
+			return 0, true
+		default:
+			return uint32(int32(a) % int32(b)), true
+		}
+	case And:
+		return a & b, true
+	case Or:
+		return a | b, true
+	case Xor:
+		return a ^ b, true
+	case Shl:
+		return a << (b & 31), true
+	case Shr:
+		return a >> (b & 31), true
+	case Sar:
+		return uint32(int32(a) >> (b & 31)), true
+	case Slt:
+		return b2u(int32(a) < int32(b)), true
+	case Sltu:
+		return b2u(a < b), true
+	case Seq:
+		return b2u(a == b), true
+	case Sne:
+		return b2u(a != b), true
+	}
+	return 0, false
+}
+
+// foldFloat evaluates FP ops with constant operands. Comparison results
+// are integer constants.
+func foldFloat(op Op, a, b float64, aok, bok bool) (fv float64, isInt bool, iv uint32, ok bool) {
+	un := aok
+	bin := aok && bok
+	switch op {
+	case Fadd:
+		if bin {
+			return a + b, false, 0, true
+		}
+	case Fsub:
+		if bin {
+			return a - b, false, 0, true
+		}
+	case Fmul:
+		if bin {
+			return a * b, false, 0, true
+		}
+	case Fdiv:
+		if bin {
+			return a / b, false, 0, true
+		}
+	case Fsqrt:
+		if un {
+			return math.Sqrt(a), false, 0, true
+		}
+	case Fabs:
+		if un {
+			return math.Abs(a), false, 0, true
+		}
+	case Fneg:
+		if un {
+			return -a, false, 0, true
+		}
+	case Fcvti:
+		if un {
+			return 0, true, uint32(truncF64(a)), true
+		}
+	case Fslt:
+		if bin {
+			return 0, true, b2u(a < b), true
+		}
+	case Fseq:
+		if bin {
+			return 0, true, b2u(a == b), true
+		}
+	case Funord:
+		if bin {
+			return 0, true, b2u(math.IsNaN(a) || math.IsNaN(b)), true
+		}
+	}
+	return 0, false, 0, false
+}
+
+// foldIdentity simplifies x+0, x|0, x^0, x&-1, x*1, x<<0 and friends to
+// a copy of the surviving operand.
+func foldIdentity(in *Inst, ca, cb uint32, aok, bok bool) (ValueID, bool) {
+	switch in.Op {
+	case Add, Or, Xor:
+		if bok && cb == 0 {
+			return in.A, true
+		}
+		if aok && ca == 0 {
+			return in.B, true
+		}
+	case Sub, Shl, Shr, Sar:
+		if bok && cb == 0 {
+			return in.A, true
+		}
+	case And:
+		if bok && cb == 0xFFFFFFFF {
+			return in.A, true
+		}
+		if aok && ca == 0xFFFFFFFF {
+			return in.B, true
+		}
+	case Mul:
+		if bok && cb == 1 {
+			return in.A, true
+		}
+		if aok && ca == 1 {
+			return in.B, true
+		}
+	}
+	return 0, false
+}
+
+// CSE performs local value numbering over pure instructions: identical
+// (op, operands, immediate) pairs collapse to the first occurrence.
+// Memory and control instructions are untouched (redundant loads are the
+// DDG phase's job).
+func (r *Region) CSE() int {
+	type key struct {
+		op   Op
+		a, b ValueID
+		immu uint32
+		immf float64
+	}
+	seen := make(map[key]ValueID)
+	resolve := make([]ValueID, r.NumValues+1)
+	res := func(v ValueID) ValueID {
+		for v != 0 && resolve[v] != 0 {
+			v = resolve[v]
+		}
+		return v
+	}
+	removed := 0
+	for i := range r.Code {
+		in := &r.Code[i]
+		in.A = res(in.A)
+		in.B = res(in.B)
+		for j := range in.State {
+			in.State[j].Val = res(in.State[j].Val)
+		}
+		if in.Dst == 0 || in.IsLoad() || in.HasSideEffect() || in.Op == LiveIn {
+			continue
+		}
+		k := key{op: in.Op, a: in.A, b: in.B, immu: in.ImmU, immf: in.ImmF}
+		if commutative(in.Op) && in.B < in.A {
+			k.a, k.b = in.B, in.A
+		}
+		if prev, ok := seen[k]; ok {
+			resolve[in.Dst] = prev
+			in.Op = Nop
+			in.Dst, in.A, in.B = 0, 0, 0
+			removed++
+			continue
+		}
+		seen[k] = in.Dst
+	}
+	return removed
+}
+
+func commutative(op Op) bool {
+	switch op {
+	case Add, Mul, Mulh, And, Or, Xor, Seq, Sne, Fadd, Fmul, Fseq, Funord:
+		return true
+	}
+	return false
+}
+
+// DCE removes instructions whose results are never used, scanning
+// backwards from side-effecting roots (stores, exits, asserts).
+func (r *Region) DCE() int {
+	live := make([]bool, r.NumValues+1)
+	for i := len(r.Code) - 1; i >= 0; i-- {
+		in := &r.Code[i]
+		if in.Op == Nop {
+			continue
+		}
+		if in.HasSideEffect() || (in.Dst != 0 && live[in.Dst]) {
+			in.Uses(func(v ValueID) { live[v] = true })
+		}
+	}
+	removed := 0
+	for i := range r.Code {
+		in := &r.Code[i]
+		if in.Op == Nop {
+			removed++
+			continue
+		}
+		if in.Dst != 0 && !live[in.Dst] && !in.HasSideEffect() {
+			in.Op = Nop
+			in.Dst, in.A, in.B = 0, 0, 0
+			removed++
+		}
+	}
+	// Compact away the Nops.
+	out := r.Code[:0]
+	for i := range r.Code {
+		if r.Code[i].Op != Nop {
+			out = append(out, r.Code[i])
+		}
+	}
+	r.Code = out
+	return removed
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func truncF64(f float64) int32 {
+	if math.IsNaN(f) || f >= float64(math.MaxInt32)+1 || f < float64(math.MinInt32) {
+		return math.MinInt32
+	}
+	return int32(f)
+}

@@ -1,0 +1,130 @@
+// Package timing implements DARCO's timing simulator (§V-C): a
+// parameterized in-order superscalar host core with decoupled front-end
+// and back-end, a BTB + gshare branch predictor, scoreboarding, simple /
+// complex / vector execution units, two-level cache and TLB hierarchies,
+// and a stride data prefetcher. It is trace-driven: it consumes the
+// retired host instruction stream the co-designed component produces.
+package timing
+
+// CacheConfig parameterises one cache level.
+type CacheConfig struct {
+	Sets      int // must be a power of two
+	Ways      int
+	LineBytes int // must be a power of two
+	Latency   int // hit latency in cycles
+}
+
+// Cache is a set-associative LRU cache.
+type Cache struct {
+	cfg      CacheConfig
+	tags     [][]uint64 // [set][way], valid bit in bit 63
+	lru      [][]uint64 // recency stamps per way (higher = more recent)
+	clock    []uint64   // per-set recency clock
+	setMask  uint32
+	lineBits uint32
+
+	Accesses uint64
+	Misses   uint64
+	Prefills uint64 // lines installed by the prefetcher
+}
+
+const validBit = uint64(1) << 63
+
+// NewCache builds a cache.
+func NewCache(cfg CacheConfig) *Cache {
+	c := &Cache{cfg: cfg}
+	c.tags = make([][]uint64, cfg.Sets)
+	c.lru = make([][]uint64, cfg.Sets)
+	c.clock = make([]uint64, cfg.Sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, cfg.Ways)
+		c.lru[i] = make([]uint64, cfg.Ways)
+	}
+	c.setMask = uint32(cfg.Sets - 1)
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// SizeBytes reports total capacity.
+func (c *Cache) SizeBytes() int { return c.cfg.Sets * c.cfg.Ways * c.cfg.LineBytes }
+
+func (c *Cache) index(addr uint32) (set uint32, tag uint64) {
+	line := addr >> c.lineBits
+	return line & c.setMask, uint64(line) | validBit
+}
+
+// touch promotes way w of set s to most recent.
+func (c *Cache) touch(s uint32, w int) {
+	c.clock[s]++
+	c.lru[s][w] = c.clock[s]
+}
+
+// victim picks the least recently used way.
+func (c *Cache) victim(s uint32) int {
+	worst := 0
+	for i, v := range c.lru[s] {
+		if v < c.lru[s][worst] {
+			worst = i
+		}
+	}
+	return worst
+}
+
+// Access looks up addr, filling on miss. It reports whether it hit.
+func (c *Cache) Access(addr uint32) bool {
+	c.Accesses++
+	s, tag := c.index(addr)
+	for w, t := range c.tags[s] {
+		if t == tag {
+			c.touch(s, w)
+			return true
+		}
+	}
+	c.Misses++
+	w := c.victim(s)
+	c.tags[s][w] = tag
+	c.touch(s, w)
+	return false
+}
+
+// Probe looks up addr without filling or updating recency.
+func (c *Cache) Probe(addr uint32) bool {
+	s, tag := c.index(addr)
+	for _, t := range c.tags[s] {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Prefill installs a line without counting an access (prefetch fill).
+func (c *Cache) Prefill(addr uint32) {
+	s, tag := c.index(addr)
+	for w, t := range c.tags[s] {
+		if t == tag {
+			c.touch(s, w)
+			return
+		}
+	}
+	w := c.victim(s)
+	c.tags[s][w] = tag
+	c.touch(s, w)
+	c.Prefills++
+}
+
+// LineBytes reports the line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// MissRate reports the miss ratio.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

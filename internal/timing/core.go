@@ -1,0 +1,452 @@
+package timing
+
+import (
+	"darco/internal/host"
+	"darco/internal/hostvm"
+)
+
+// Config carries every timing parameter the paper lists for the
+// simulator: issue width, instruction queue size, numbers of execution
+// units and latencies, physical register counts, branch predictor and
+// BTB sizes, cache and TLB geometry/latencies, memory ports, and the
+// SIMD vector length.
+type Config struct {
+	FetchWidth    int
+	IssueWidth    int
+	IQSize        int
+	FrontendDepth int // fetch-to-issue pipeline depth
+	RedirectPen   int // extra cycles on a front-end redirect
+
+	SimpleUnits  int
+	ComplexUnits int
+	VectorUnits  int
+	MemReadPorts int
+	MemWritePts  int
+
+	PhysIntRegs int // scalar physical registers (≥ host.NumIntRegs)
+	PhysVecRegs int
+	VectorLen   int // SIMD lanes
+
+	BPred BPredConfig
+
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+
+	ITLB    TLBConfig
+	DTLB    TLBConfig
+	L2TLB   TLBConfig
+	WalkLat int
+
+	MemLatency int // L2 miss penalty
+
+	PrefetchEntries int
+	PrefetchDegree  int
+
+	// TOLCPI models the average CPI of the TOL's own host instructions
+	// when charged through AddTOL (the TOL is software on this core).
+	TOLCPI float64
+
+	// Latency overrides per opcode (0 = host ISA default).
+	LatencyOverride map[host.Op]int
+}
+
+// DefaultConfig models the paper's simple in-order co-designed core:
+// 2-wide, with modest caches and a stride prefetcher.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:      2,
+		IssueWidth:      2,
+		IQSize:          32,
+		FrontendDepth:   4,
+		RedirectPen:     6,
+		SimpleUnits:     2,
+		ComplexUnits:    1,
+		VectorUnits:     1,
+		MemReadPorts:    1,
+		MemWritePts:     1,
+		PhysIntRegs:     host.NumIntRegs,
+		PhysVecRegs:     host.NumVecRegs,
+		VectorLen:       host.VecLanes,
+		BPred:           BPredConfig{GShareBits: 12, BTBEntries: 1024},
+		L1I:             CacheConfig{Sets: 128, Ways: 4, LineBytes: 64, Latency: 1},
+		L1D:             CacheConfig{Sets: 128, Ways: 4, LineBytes: 64, Latency: 2},
+		L2:              CacheConfig{Sets: 1024, Ways: 8, LineBytes: 64, Latency: 12},
+		ITLB:            TLBConfig{Entries: 64, Ways: 4, Latency: 0},
+		DTLB:            TLBConfig{Entries: 64, Ways: 4, Latency: 0},
+		L2TLB:           TLBConfig{Entries: 512, Ways: 4, Latency: 7},
+		WalkLat:         30,
+		MemLatency:      120,
+		PrefetchEntries: 64,
+		PrefetchDegree:  2,
+		TOLCPI:          0.9,
+	}
+}
+
+// Stats is the simulator's execution report.
+type Stats struct {
+	Cycles     uint64
+	Insns      uint64 // application host instructions simulated
+	TOLInsns   uint64 // TOL host instructions charged via AddTOL
+	TOLCycles  uint64
+	Branches   uint64
+	Mispredict uint64
+	Loads      uint64
+	Stores     uint64
+
+	StallOperand uint64 // cycles lost waiting on operands
+	StallFU      uint64 // cycles lost waiting on execution units
+	StallMem     uint64 // extra cycles from cache/TLB misses
+	StallFront   uint64 // cycles lost to front-end redirects
+
+	// ClassCount buckets simulated instructions by execution class.
+	ClassCount [5]uint64
+}
+
+// IPC reports application instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insns) / float64(s.Cycles)
+}
+
+// Core is the in-order superscalar model. Feed it retired instructions
+// through Consume (wire it to hostvm.VM.Retire) and TOL overhead through
+// AddTOL.
+type Core struct {
+	Cfg Config
+
+	BP   *BPred
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	TLBs *TLBHierarchy
+	PF   *StridePrefetcher
+
+	Stats Stats
+
+	// Scoreboard: cycle at which each register's value is ready.
+	readyI [host.NumIntRegs]uint64
+	readyF [host.NumFPRegs]uint64
+	readyV [host.NumVecRegs]uint64
+
+	// Execution unit free cycles.
+	simpleFree  []uint64
+	complexFree []uint64
+	vectorFree  []uint64
+
+	// Per-cycle issue and port bookkeeping (in-order issue clock is
+	// monotonic, so single current-cycle counters suffice).
+	lastIssue  uint64
+	issueCnt   int
+	portCycle  uint64
+	rdPortUsed int
+	wrPortUsed int
+
+	// Front-end clock.
+	fetchCycle uint64
+	fetchCnt   int
+	lastLine   uint32
+
+	// Instruction queue: ring of issue cycles for occupancy limits.
+	iq    []uint64
+	iqPos int
+
+	tolCarry float64
+}
+
+// New builds a core.
+func New(cfg Config) *Core {
+	c := &Core{
+		Cfg: cfg,
+		BP:  NewBPred(cfg.BPred),
+		L1I: NewCache(cfg.L1I),
+		L1D: NewCache(cfg.L1D),
+		L2:  NewCache(cfg.L2),
+		PF:  NewStridePrefetcher(cfg.PrefetchEntries, cfg.PrefetchDegree),
+		iq:  make([]uint64, cfg.IQSize),
+	}
+	c.TLBs = &TLBHierarchy{
+		L1I:     NewTLB(cfg.ITLB),
+		L1D:     NewTLB(cfg.DTLB),
+		L2:      NewTLB(cfg.L2TLB),
+		WalkLat: cfg.WalkLat,
+	}
+	c.simpleFree = make([]uint64, cfg.SimpleUnits)
+	c.complexFree = make([]uint64, cfg.ComplexUnits)
+	c.vectorFree = make([]uint64, cfg.VectorUnits)
+	return c
+}
+
+func (c *Core) latency(op host.Op) int {
+	if c.Cfg.LatencyOverride != nil {
+		if l, ok := c.Cfg.LatencyOverride[op]; ok && l > 0 {
+			return l
+		}
+	}
+	return op.Desc().Latency
+}
+
+// srcRegs enumerates source registers of a host instruction.
+func srcRegs(in *host.Inst) (ia, ib int, fa, fb int, va, vb int) {
+	ia, ib, fa, fb, va, vb = -1, -1, -1, -1, -1, -1
+	d := in.Op.Desc()
+	switch in.Op {
+	case host.NOPH, host.LI, host.FLI, host.CHKPT, host.COMMIT, host.EXIT, host.CHAINED, host.JREL,
+		host.UNSPILLI, host.UNSPILLF:
+	case host.MOVH, host.ADDI, host.ANDI, host.ORI, host.XORI, host.SHLI, host.SHRI, host.SARI,
+		host.LD, host.LDB, host.EXITIND, host.ASSERTH, host.BEQZ, host.BNEZ, host.SPILLI:
+		ia = int(in.Ra)
+		if in.Op == host.SPILLI {
+			ia = int(in.Rd)
+		}
+	case host.ADD, host.SUB, host.MUL, host.MULH, host.DIV, host.REM, host.AND, host.OR, host.XOR,
+		host.SHL, host.SHR, host.SAR, host.SLT, host.SLTU, host.SEQ, host.SNE:
+		ia, ib = int(in.Ra), int(in.Rb)
+	case host.ST, host.STB:
+		ia, ib = int(in.Ra), int(in.Rd) // address base + store data
+	case host.FLDH:
+		ia = int(in.Ra)
+	case host.FSTH:
+		ia, fb = int(in.Ra), int(in.Rd)
+	case host.FMOVH, host.FSQRTH, host.FABSH, host.FNEGH, host.FCVTI:
+		fa = int(in.Ra)
+	case host.FCVTF:
+		ia = int(in.Ra)
+	case host.FADDH, host.FSUBH, host.FMULH, host.FDIVH, host.FSLT, host.FSEQ, host.FUNORD:
+		fa, fb = int(in.Ra), int(in.Rb)
+	case host.SPILLF:
+		fa = int(in.Rd)
+	case host.VFADD, host.VFMUL:
+		va, vb = int(in.Ra), int(in.Rb)
+	case host.VFLD:
+		ia = int(in.Ra)
+	case host.VFST:
+		ia, va = int(in.Ra), int(in.Rd)
+	}
+	_ = d
+	return
+}
+
+// dstReg reports the destination register and its class.
+func dstReg(in *host.Inst) (reg int, class uint8) {
+	switch in.Op {
+	case host.LI, host.MOVH, host.ADD, host.ADDI, host.SUB, host.MUL, host.MULH, host.DIV, host.REM,
+		host.AND, host.ANDI, host.OR, host.ORI, host.XOR, host.XORI, host.SHL, host.SHLI,
+		host.SHR, host.SHRI, host.SAR, host.SARI, host.SLT, host.SLTU, host.SEQ, host.SNE,
+		host.LD, host.LDB, host.FCVTI, host.FSLT, host.FSEQ, host.FUNORD, host.UNSPILLI:
+		return int(in.Rd), 0
+	case host.FLI, host.FMOVH, host.FADDH, host.FSUBH, host.FMULH, host.FDIVH, host.FSQRTH,
+		host.FABSH, host.FNEGH, host.FCVTF, host.FLDH, host.UNSPILLF:
+		return int(in.Rd), 1
+	case host.VFADD, host.VFMUL, host.VFLD:
+		return int(in.Rd), 2
+	}
+	return -1, 0
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Consume simulates one retired application instruction.
+func (c *Core) Consume(ev hostvm.RetireEvent) {
+	in := ev.Inst
+	d := in.Op.Desc()
+	c.Stats.Insns++
+	c.Stats.ClassCount[d.Class]++
+
+	// ---- Front end: fetch the instruction.
+	line := ev.PC &^ uint32(c.L1I.LineBytes()-1)
+	if line != c.lastLine {
+		c.lastLine = line
+		pen := c.TLBs.Translate(ev.PC, true)
+		if !c.L1I.Access(ev.PC) {
+			if c.L2.Access(ev.PC) {
+				pen += c.Cfg.L2.Latency
+			} else {
+				pen += c.Cfg.L2.Latency + c.Cfg.MemLatency
+			}
+		}
+		if pen > 0 {
+			c.fetchCycle += uint64(pen)
+			c.Stats.StallMem += uint64(pen)
+		}
+	}
+	c.fetchCnt++
+	if c.fetchCnt >= c.Cfg.FetchWidth {
+		c.fetchCnt = 0
+		c.fetchCycle++
+	}
+	ready := c.fetchCycle + uint64(c.Cfg.FrontendDepth)
+
+	// ---- Instruction queue occupancy: the slot we reuse must have
+	// issued already.
+	if c.iq[c.iqPos] > ready {
+		stall := c.iq[c.iqPos] - ready
+		ready = c.iq[c.iqPos]
+		// Back-pressure the front end.
+		c.fetchCycle += stall
+	}
+
+	// ---- In-order issue.
+	t := maxU(ready, c.lastIssue)
+	if t == c.lastIssue && c.issueCnt >= c.Cfg.IssueWidth {
+		t++
+	}
+	base := t
+
+	// Operand readiness.
+	ia, ib, fa, fb, va, vb := srcRegs(in)
+	if ia >= 0 {
+		t = maxU(t, c.readyI[ia])
+	}
+	if ib >= 0 {
+		t = maxU(t, c.readyI[ib])
+	}
+	if fa >= 0 {
+		t = maxU(t, c.readyF[fa])
+	}
+	if fb >= 0 {
+		t = maxU(t, c.readyF[fb])
+	}
+	if va >= 0 {
+		t = maxU(t, c.readyV[va])
+	}
+	if vb >= 0 {
+		t = maxU(t, c.readyV[vb])
+	}
+	c.Stats.StallOperand += t - base
+	base = t
+
+	// Execution unit availability.
+	var pool []uint64
+	switch d.Class {
+	case host.ClassComplex:
+		pool = c.complexFree
+	case host.ClassVector:
+		pool = c.vectorFree
+	case host.ClassSimple, host.ClassBranch, host.ClassMemory:
+		pool = c.simpleFree
+	}
+	best := 0
+	for i := range pool {
+		if pool[i] < pool[best] {
+			best = i
+		}
+	}
+	t = maxU(t, pool[best])
+	c.Stats.StallFU += t - base
+
+	lat := uint64(c.latency(in.Op))
+
+	// ---- Memory pipeline.
+	if d.IsLoad || d.IsStore {
+		if in.Op == host.SPILLI || in.Op == host.UNSPILLI || in.Op == host.SPILLF || in.Op == host.UNSPILLF {
+			// TOL-private scratchpad: fixed latency, no cache traffic.
+		} else {
+			if c.portCycle != t {
+				c.portCycle = t
+				c.rdPortUsed, c.wrPortUsed = 0, 0
+			}
+			if d.IsLoad {
+				c.rdPortUsed++
+				if c.rdPortUsed > c.Cfg.MemReadPorts {
+					t++
+					c.portCycle = t
+					c.rdPortUsed = 1
+				}
+				c.Stats.Loads++
+			} else {
+				c.wrPortUsed++
+				if c.wrPortUsed > c.Cfg.MemWritePts {
+					t++
+					c.portCycle = t
+					c.wrPortUsed = 1
+				}
+				c.Stats.Stores++
+			}
+			pen := uint64(c.TLBs.Translate(ev.Addr, false))
+			if !c.L1D.Access(ev.Addr) {
+				if c.L2.Access(ev.Addr) {
+					pen += uint64(c.Cfg.L2.Latency)
+				} else {
+					pen += uint64(c.Cfg.L2.Latency + c.Cfg.MemLatency)
+				}
+			}
+			if d.IsLoad {
+				c.PF.Observe(ev.PC, ev.Addr, c.L1D, c.L2)
+			}
+			c.Stats.StallMem += pen
+			lat += pen
+		}
+	}
+
+	// Occupy the unit (divides and sqrt are unpipelined).
+	occ := uint64(1)
+	switch in.Op {
+	case host.DIV, host.REM, host.FDIVH, host.FSQRTH:
+		occ = lat
+	}
+	pool[best] = t + occ
+
+	// ---- Branches.
+	if d.Class == host.ClassBranch {
+		c.Stats.Branches++
+		conditional := in.Op == host.BEQZ || in.Op == host.BNEZ || in.Op == host.ASSERTH
+		misp := c.BP.Predict(ev.PC, ev.Taken, ev.Target, conditional)
+		if misp {
+			c.Stats.Mispredict++
+			redirect := t + 1 + uint64(c.Cfg.RedirectPen)
+			if redirect > c.fetchCycle {
+				c.Stats.StallFront += redirect - c.fetchCycle
+				c.fetchCycle = redirect
+				c.fetchCnt = 0
+			}
+		}
+	}
+
+	// ---- Writeback.
+	if reg, class := dstReg(in); reg >= 0 {
+		switch class {
+		case 0:
+			c.readyI[reg] = t + lat
+		case 1:
+			c.readyF[reg] = t + lat
+		case 2:
+			c.readyV[reg] = t + lat
+		}
+	}
+
+	// Issue bookkeeping.
+	if t == c.lastIssue {
+		c.issueCnt++
+	} else {
+		c.lastIssue = t
+		c.issueCnt = 1
+	}
+	c.iq[c.iqPos] = t
+	c.iqPos = (c.iqPos + 1) % len(c.iq)
+	if t+lat > c.Stats.Cycles {
+		c.Stats.Cycles = t + lat
+	}
+}
+
+// AddTOL charges n TOL host instructions at the configured flat CPI.
+// The TOL is software executing on this same core; its instruction
+// stream is modelled with an aggregate CPI rather than replayed
+// instruction by instruction (DESIGN.md §2).
+func (c *Core) AddTOL(n uint64) {
+	c.Stats.TOLInsns += n
+	c.tolCarry += float64(n) * c.Cfg.TOLCPI
+	adv := uint64(c.tolCarry)
+	c.tolCarry -= float64(adv)
+	c.Stats.TOLCycles += adv
+	c.Stats.Cycles += adv
+	c.fetchCycle += adv
+	c.lastIssue += adv
+}

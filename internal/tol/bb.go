@@ -1,0 +1,245 @@
+package tol
+
+import (
+	"fmt"
+
+	"darco/internal/codecache"
+	"darco/internal/guest"
+	"darco/internal/ir"
+)
+
+// Fetcher decodes the guest instruction at pc from the co-designed
+// component's emulated memory. It returns a page-fault error when the
+// code page has not been transferred yet.
+type Fetcher func(pc uint32) (guest.Inst, error)
+
+// maxBBInsns caps decoded basic block length defensively.
+const maxBBInsns = 512
+
+// bbInfo is one decoded guest basic block.
+type bbInfo struct {
+	entry  uint32
+	insts  []guest.Inst // body, excluding the terminator
+	pcs    []uint32
+	term   guest.Inst // terminating instruction
+	termPC uint32
+	nextPC uint32 // fall-through PC after the terminator
+}
+
+// staticLen reports the number of static guest instructions including
+// the terminator when it is translatable.
+func (bb *bbInfo) staticLen() int {
+	n := len(bb.insts)
+	if translatable(bb.term.Op) {
+		n++
+	}
+	return n
+}
+
+// decodeBB decodes the basic block starting at pc.
+func decodeBB(fetch Fetcher, pc uint32) (*bbInfo, error) {
+	bb := &bbInfo{entry: pc}
+	cur := pc
+	for n := 0; n < maxBBInsns; n++ {
+		in, err := fetch(cur)
+		if err != nil {
+			return nil, err
+		}
+		if in.Op.EndsBasicBlock() || !translatable(in.Op) {
+			bb.term = in
+			bb.termPC = cur
+			bb.nextPC = cur + uint32(in.Len())
+			return bb, nil
+		}
+		bb.insts = append(bb.insts, in)
+		bb.pcs = append(bb.pcs, cur)
+		cur += uint32(in.Len())
+	}
+	return nil, fmt.Errorf("tol: basic block at %#x exceeds %d instructions", pc, maxBBInsns)
+}
+
+// translateBody translates the straight-line body of a basic block.
+func (x *xlate) translateBody(bb *bbInfo) error {
+	for i := range bb.insts {
+		if err := x.inst(bb.pcs[i], &bb.insts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// translateTerminator lowers a basic block terminator into region exits,
+// the way both BBM blocks and the final block of a superblock end.
+func (x *xlate) translateTerminator(bb *bbInfo) error {
+	t := &bb.term
+	x.gpc = bb.termPC
+	d := t.Op.Desc()
+	switch {
+	case d.IsCond:
+		cond := x.cond(t.Op)
+		x.guestInsns++
+		x.guestBBs++
+		x.emitExitIf(cond, t.Target(bb.termPC), true)
+		x.emitExit(bb.nextPC, false)
+	case t.Op == guest.JMP:
+		x.guestInsns++
+		x.guestBBs++
+		x.emitExit(t.Target(bb.termPC), false)
+	case t.Op == guest.JMPr:
+		addr := x.getGPR(t.R1)
+		x.guestInsns++
+		x.guestBBs++
+		x.emitExitInd(addr)
+	case t.Op == guest.CALL:
+		x.pushValue(x.constI(bb.nextPC))
+		x.guestInsns++
+		x.guestBBs++
+		x.emitExit(t.Target(bb.termPC), false)
+	case t.Op == guest.CALLr:
+		x.pushValue(x.constI(bb.nextPC))
+		addr := x.getGPR(t.R1)
+		x.guestInsns++
+		x.guestBBs++
+		x.emitExitInd(addr)
+	case t.Op == guest.RET:
+		sp := x.getGPR(guest.ESP)
+		addr := x.emit(ir.Inst{Op: ir.Ld32, Dst: -1, A: sp})
+		x.setGPR(guest.ESP, x.op2(ir.Add, sp, x.constI(4)))
+		x.guestInsns++
+		x.guestBBs++
+		x.emitExitInd(addr)
+	default:
+		// Untranslatable terminator (SYSCALL, HALT, MOVS, STOS): leave
+		// to the software layer at its PC. The basic block has not
+		// finished — the interpreter executes the terminator and
+		// retires the block.
+		x.emitExit(bb.termPC, false)
+	}
+	return nil
+}
+
+func (x *xlate) pushValue(v ir.ValueID) {
+	sp := x.op2(ir.Sub, x.getGPR(guest.ESP), x.constI(4))
+	x.emit(ir.Inst{Op: ir.St32, A: sp, B: v})
+	x.setGPR(guest.ESP, sp)
+}
+
+// finishRegion runs the mode-appropriate optimization pipeline and
+// generates the host block.
+type regionStats struct {
+	Folded, CSEd, DCEd int
+	MemOpt             ir.MemOptStats
+	Sched              ir.SchedStats
+	Spills             int
+}
+
+// OptLevel selects how much of the optimization pipeline runs; the
+// debug toolchain replays translations at increasing levels to pinpoint
+// the pass a divergence first appears in.
+type OptLevel int
+
+// Optimization levels, cumulative. The zero value selects LevelFull.
+const (
+	LevelDefault OptLevel = iota // alias for LevelFull
+	LevelNone                    // straight translation, no passes
+	LevelForward                 // + constant folding/propagation, copy propagation
+	LevelCSE                     // + common subexpression elimination
+	LevelDCE                     // + dead code elimination
+	LevelMem                     // + redundant load elim, store forwarding, dead stores
+	LevelSched                   // + DDG construction and list scheduling
+	LevelFull                    // everything (speculative reordering per maxSpec)
+)
+
+func (l OptLevel) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelForward:
+		return "forward"
+	case LevelCSE:
+		return "cse"
+	case LevelDCE:
+		return "dce"
+	case LevelMem:
+		return "memopt"
+	case LevelSched:
+		return "sched"
+	}
+	return "full"
+}
+
+func lowerRegion(r *ir.Region, superblock bool, maxSpec int, level OptLevel, mutate func(*ir.Region)) (*ir.GenResult, regionStats, error) {
+	var st regionStats
+	if level >= LevelForward {
+		st.Folded = r.ForwardPass()
+	}
+	if superblock && level >= LevelCSE {
+		st.CSEd = r.CSE()
+	}
+	if level >= LevelDCE {
+		st.DCEd = r.DCE()
+	}
+	if superblock && level >= LevelMem {
+		st.MemOpt = r.MemOpt()
+	}
+	if superblock && level >= LevelSched {
+		g := r.BuildDDG()
+		spec := 0
+		if level >= LevelFull {
+			spec = maxSpec
+		}
+		st.Sched = r.Schedule(g, spec)
+	}
+	if mutate != nil {
+		mutate(r)
+	}
+	alloc := r.Allocate()
+	gen, err := r.Generate(alloc)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Spills = gen.Spills
+	return gen, st, nil
+}
+
+// translateBB builds a BBM block for the basic block at pc. It returns
+// nil (no error) when the block is not translatable (e.g. it begins with
+// a system call or string instruction).
+func (t *TOL) translateBB(pc uint32) (*codecache.Block, error) {
+	bb, err := decodeBB(t.Fetch, pc)
+	if err != nil {
+		return nil, err
+	}
+	if len(bb.insts) == 0 && !translatable(bb.term.Op) {
+		return nil, nil
+	}
+	x := newXlate(pc, false)
+	x.eager = t.Cfg.EagerFlags
+	if err := x.translateBody(bb); err != nil {
+		return nil, err
+	}
+	if err := x.translateTerminator(bb); err != nil {
+		return nil, err
+	}
+	gen, _, err := lowerRegion(x.r, false, 0, LevelDCE, t.Cfg.MutateRegion)
+	if err != nil {
+		return nil, err
+	}
+	blk := &codecache.Block{
+		Entry:      pc,
+		Kind:       codecache.KindBB,
+		Code:       gen.Code,
+		GuestInsns: bb.staticLen(),
+		BBs:        []uint32{pc},
+		ExitMeta:   convertMeta(gen.ExitMeta),
+	}
+	return blk, nil
+}
+
+func convertMeta(m map[int]ir.ExitInfo) map[int]codecache.ExitInfo {
+	out := make(map[int]codecache.ExitInfo, len(m))
+	for k, v := range m {
+		out[k] = codecache.ExitInfo{GuestInsns: v.GuestInsns, GuestBBs: v.GuestBBs, Taken: v.Taken}
+	}
+	return out
+}

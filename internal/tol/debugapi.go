@@ -1,0 +1,76 @@
+package tol
+
+import (
+	"darco/internal/codecache"
+	"darco/internal/ir"
+)
+
+// Exported translation entry points for the debug toolchain: they
+// rebuild the region for a cached block at a chosen optimization level
+// without touching the live code cache, so the debugger can replay each
+// pipeline stage in isolation.
+
+// RetranslateAtLevel rebuilds the translation for a cached block with
+// only the first `level` optimization stages enabled. The result is not
+// inserted into the code cache.
+func (t *TOL) RetranslateAtLevel(blk *codecache.Block, level OptLevel) (*codecache.Block, error) {
+	if blk.Kind == codecache.KindBB {
+		// BBM blocks run a fixed basic pipeline; level still applies.
+		bb, err := decodeBB(t.Fetch, blk.Entry)
+		if err != nil {
+			return nil, err
+		}
+		x := newXlate(blk.Entry, false)
+		if err := x.translateBody(bb); err != nil {
+			return nil, err
+		}
+		if err := x.translateTerminator(bb); err != nil {
+			return nil, err
+		}
+		gen, _, err := lowerRegion(x.r, false, 0, level, t.Cfg.MutateRegion)
+		if err != nil {
+			return nil, err
+		}
+		return &codecache.Block{
+			Entry: blk.Entry, Kind: codecache.KindBB, Code: gen.Code,
+			GuestInsns: bb.staticLen(), BBs: []uint32{blk.Entry},
+			ExitMeta: convertMeta(gen.ExitMeta),
+		}, nil
+	}
+	plan, err := t.formSuperblock(blk.Entry)
+	if err != nil {
+		return nil, err
+	}
+	opts := t.sbOpts[blk.Entry]
+	opts.level = level
+	nb, _, err := t.translateSuperblock(plan, opts)
+	return nb, err
+}
+
+// BuildRegionIR reconstructs the (unoptimized) IR region for a cached
+// block, for debug listings.
+func (t *TOL) BuildRegionIR(blk *codecache.Block) (*ir.Region, error) {
+	if blk.Kind == codecache.KindBB {
+		bb, err := decodeBB(t.Fetch, blk.Entry)
+		if err != nil {
+			return nil, err
+		}
+		x := newXlate(blk.Entry, false)
+		if err := x.translateBody(bb); err != nil {
+			return nil, err
+		}
+		if err := x.translateTerminator(bb); err != nil {
+			return nil, err
+		}
+		return x.r, nil
+	}
+	plan, err := t.formSuperblock(blk.Entry)
+	if err != nil {
+		return nil, err
+	}
+	x, _, _, err := buildSuperblockIR(plan, !t.sbOpts[blk.Entry].noAsserts, t.Cfg.EagerFlags)
+	if err != nil {
+		return nil, err
+	}
+	return x.r, nil
+}

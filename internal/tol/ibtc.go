@@ -1,0 +1,49 @@
+package tol
+
+import "darco/internal/codecache"
+
+// IBTC is the Indirect Branch Translation Cache [17]: a software table
+// mapping guest indirect-branch targets to their code cache blocks so
+// indirect control transfers avoid a full TOL dispatch. The inline probe
+// cost is modelled by the host emulator (hostvm.Config.IBTCCost).
+type IBTC struct {
+	table map[uint32]int // guest target PC -> block id
+	cache *codecache.Cache
+
+	Hits, Misses, Inserts, Stale uint64
+}
+
+// NewIBTC returns an empty IBTC bound to a code cache.
+func NewIBTC(cache *codecache.Cache) *IBTC {
+	return &IBTC{table: make(map[uint32]int), cache: cache}
+}
+
+// Probe resolves a guest target, dropping stale entries.
+func (t *IBTC) Probe(target uint32) (*codecache.Block, bool) {
+	id, ok := t.table[target]
+	if !ok {
+		t.Misses++
+		return nil, false
+	}
+	blk, ok := t.cache.Get(id)
+	if !ok || blk.Entry != target {
+		delete(t.table, target)
+		t.Stale++
+		t.Misses++
+		return nil, false
+	}
+	t.Hits++
+	return blk, true
+}
+
+// Insert installs a mapping.
+func (t *IBTC) Insert(target uint32, blockID int) {
+	t.table[target] = blockID
+	t.Inserts++
+}
+
+// Flush empties the table (code cache flush).
+func (t *IBTC) Flush() { t.table = make(map[uint32]int) }
+
+// Len reports resident entries.
+func (t *IBTC) Len() int { return len(t.table) }

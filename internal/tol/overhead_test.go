@@ -1,0 +1,47 @@
+package tol
+
+import "testing"
+
+func TestOverheadAccounting(t *testing.T) {
+	var ov Overhead
+	ov.Charge(OvInterp, 10)
+	ov.Charge(OvInterp, 5)
+	ov.Charge(OvChaining, 3)
+	if ov.Cat[OvInterp] != 15 || ov.Cat[OvChaining] != 3 {
+		t.Errorf("charges: %+v", ov.Cat)
+	}
+	if ov.Total() != 18 {
+		t.Errorf("total %d", ov.Total())
+	}
+}
+
+func TestOverheadCategoryNames(t *testing.T) {
+	want := map[OverheadCat]string{
+		OvInterp:   "Interpreter",
+		OvBBTrans:  "BB Translator",
+		OvSBTrans:  "SB Translator",
+		OvPrologue: "Prologue",
+		OvChaining: "Chaining",
+		OvLookup:   "Code $ lookup",
+		OvOther:    "Others",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("%d -> %q want %q", c, c.String(), name)
+		}
+	}
+}
+
+func TestDefaultCostsSane(t *testing.T) {
+	c := DefaultCosts()
+	// The paper's ordering: superblock optimization is far more
+	// expensive per instruction than BB translation, which in turn is
+	// far more expensive than interpretation.
+	if !(c.SBTransPerInsn > c.BBTransPerInsn && c.BBTransPerInsn > c.InterpPerInsn) {
+		t.Errorf("cost ordering violated: %d %d %d",
+			c.InterpPerInsn, c.BBTransPerInsn, c.SBTransPerInsn)
+	}
+	if c.Lookup == 0 || c.Prologue == 0 || c.ChainAttempt == 0 || c.Init == 0 {
+		t.Errorf("zero-cost activities: %+v", c)
+	}
+}

@@ -1,0 +1,484 @@
+package tol
+
+import (
+	"fmt"
+
+	"darco/internal/codecache"
+	"darco/internal/guest"
+	"darco/internal/guestvm"
+	"darco/internal/hostvm"
+	"darco/internal/ir"
+)
+
+// Config parameterises the TOL.
+type Config struct {
+	BBThreshold uint32 // interpretations before a basic block is translated
+	SBThreshold uint64 // BBM executions before superblock promotion
+	Costs       Costs
+	SB          SBConfig
+	HostCfg     hostvm.Config
+	CacheSize   int    // code cache capacity in host instructions
+	RunFuel     uint64 // host instructions per code-cache excursion
+
+	// MutateRegion, when non-nil, runs on every optimized region just
+	// before code generation. It exists for the debug toolchain: inject
+	// a translator bug here and let the debugger pinpoint it.
+	MutateRegion func(*ir.Region)
+
+	// DisableChaining turns off block chaining and the IBTC (ablation).
+	DisableChaining bool
+
+	// EagerFlags materializes all five guest condition flags after
+	// every flag-writing instruction instead of lazily at consumers
+	// and exits (ablation of the lazy-flags emulation-cost reduction).
+	EagerFlags bool
+}
+
+// DefaultConfig returns the paper-default TOL configuration.
+func DefaultConfig() Config {
+	return Config{
+		BBThreshold: 10,
+		SBThreshold: 300,
+		Costs:       DefaultCosts(),
+		SB:          DefaultSBConfig(),
+		HostCfg:     hostvm.DefaultConfig(),
+		CacheSize:   codecache.DefaultCapacity,
+		RunFuel:     200_000,
+	}
+}
+
+// Event is what Run pauses for.
+type Event uint8
+
+// Run events.
+const (
+	EvBudget   Event = iota // guest instruction budget exhausted
+	EvHalt                  // guest executed HALT
+	EvSyscall               // guest at a SYSCALL; controller must sync
+	EvNeedPage              // first touch of a guest page; controller must transfer it
+)
+
+func (e Event) String() string {
+	switch e {
+	case EvBudget:
+		return "budget"
+	case EvHalt:
+		return "halt"
+	case EvSyscall:
+		return "syscall"
+	case EvNeedPage:
+		return "need-page"
+	}
+	return "?"
+}
+
+// RunResult reports why Run returned.
+type RunResult struct {
+	Event     Event
+	FaultAddr uint32 // valid for EvNeedPage
+}
+
+// Stats aggregates the execution statistics the paper's evaluation
+// section reports.
+type Stats struct {
+	GuestInsnsIM  uint64 // dynamic guest instructions interpreted
+	GuestInsnsBBM uint64 // retired from basic-block translations
+	GuestInsnsSBM uint64 // retired from superblocks
+	GuestBBs      uint64 // dynamic guest basic blocks retired
+
+	HostInsnsBBM uint64 // host instructions retired in BBM blocks
+	HostInsnsSBM uint64 // host instructions retired in superblocks
+
+	Dispatches     uint64
+	BBTranslations uint64
+	SBTranslations uint64
+	AssertRebuilds uint64
+	SpecRebuilds   uint64
+	SpecLoadsSched uint64 // speculative loads emitted by the scheduler
+	UnrolledLoops  uint64
+	InterpBBs      uint64
+	Syscalls       uint64
+	PageRequests   uint64
+}
+
+// GuestInsns reports total dynamic guest instructions retired.
+func (s *Stats) GuestInsns() uint64 {
+	return s.GuestInsnsIM + s.GuestInsnsBBM + s.GuestInsnsSBM
+}
+
+// TOL is the Translation Optimization Layer plus the co-designed
+// component state it drives: the emulated guest architectural state, the
+// emulated (strict, demand-paged) guest memory, the host emulator, the
+// code cache and the IBTC.
+type TOL struct {
+	CPU   guest.CPU
+	Mem   *guestvm.Memory
+	VM    *hostvm.VM
+	Cache *codecache.Cache
+	IBTC  *IBTC
+
+	Cfg      Config
+	SBCfg    SBConfig
+	Overhead Overhead
+	Stats    Stats
+
+	// BBFreq is the co-designed execution distribution (region entry
+	// frequencies); the warm-up methodology correlates it across
+	// configurations.
+	BBFreq map[uint32]uint64
+
+	Fetch Fetcher
+
+	repCount    map[uint32]uint32
+	noTranslate map[uint32]bool
+	sbOpts      map[uint32]sbOptions
+	decode      map[uint32]guest.Inst
+	halted      bool
+	midBB       bool
+
+	// LastDispatch records the most recent dispatch for the debug
+	// toolchain: what executed and from where.
+	LastDispatch DispatchRecord
+}
+
+// MidBB reports whether execution is paused in the middle of a guest
+// basic block (after a mid-block page fault or at a syscall). State
+// comparison against the authoritative component is only meaningful at
+// basic-block boundaries.
+func (t *TOL) MidBB() bool { return t.midBB }
+
+// ClearMidBB marks the component as block-aligned again (the controller
+// calls it after completing a syscall synchronization).
+func (t *TOL) ClearMidBB() { t.midBB = false }
+
+// DispatchRecord describes one TOL dispatch.
+type DispatchRecord struct {
+	PC      uint32
+	Mode    string // "im", "bb", "superblock"
+	BlockID int    // -1 for interpretation
+}
+
+// New builds a co-designed component for a program whose initial state
+// the controller will install. Memory is strict: first touches raise
+// page requests.
+func New(cfg Config) *TOL {
+	t := &TOL{
+		Mem:         guestvm.NewMemory(true),
+		Cache:       codecache.New(cfg.CacheSize),
+		Cfg:         cfg,
+		SBCfg:       cfg.SB,
+		BBFreq:      make(map[uint32]uint64),
+		repCount:    make(map[uint32]uint32),
+		noTranslate: make(map[uint32]bool),
+		sbOpts:      make(map[uint32]sbOptions),
+		decode:      make(map[uint32]guest.Inst),
+	}
+	t.IBTC = NewIBTC(t.Cache)
+	vmCfg := cfg.HostCfg
+	t.VM = hostvm.New(t.Mem, vmCfg)
+	t.VM.HotThreshold = cfg.SBThreshold
+	t.VM.Resolve = t.Cache.Get
+	t.VM.IBTC = t.IBTC.Probe
+	t.Fetch = t.fetchInst
+	t.Overhead.Charge(OvOther, cfg.Costs.Init)
+	return t
+}
+
+// SetThresholds changes the promotion thresholds at run time. The
+// warm-up simulation methodology (§VI-E) downscales them during the TOL
+// warm-up phase and restores them while collecting statistics.
+func (t *TOL) SetThresholds(bb uint32, sb uint64) {
+	if bb < 1 {
+		bb = 1
+	}
+	if sb < 1 {
+		sb = 1
+	}
+	t.Cfg.BBThreshold = bb
+	t.Cfg.SBThreshold = sb
+	t.VM.HotThreshold = sb
+}
+
+// Thresholds reports the active promotion thresholds.
+func (t *TOL) Thresholds() (bb uint32, sb uint64) {
+	return t.Cfg.BBThreshold, t.Cfg.SBThreshold
+}
+
+// Halted reports whether the guest has executed HALT or exited.
+func (t *TOL) Halted() bool { return t.halted }
+
+// SetHalted force-stops the component (controller use, on SysExit).
+func (t *TOL) SetHalted() { t.halted = true }
+
+// fetchInst decodes the guest instruction at pc from emulated memory.
+func (t *TOL) fetchInst(pc uint32) (guest.Inst, error) {
+	if in, ok := t.decode[pc]; ok {
+		return in, nil
+	}
+	var raw [10]byte
+	b0, err := t.Mem.Load8(pc)
+	if err != nil {
+		return guest.Inst{Op: guest.BAD}, err
+	}
+	raw[0] = b0
+	op := guest.Op(b0)
+	n := guest.FormLen(op.Desc().Form)
+	if n == 0 {
+		return guest.Inst{Op: guest.BAD}, fmt.Errorf("tol: undecodable instruction at %#x", pc)
+	}
+	for i := 1; i < n; i++ {
+		v, err := t.Mem.Load8(pc + uint32(i))
+		if err != nil {
+			return guest.Inst{Op: guest.BAD}, err
+		}
+		raw[i] = v
+	}
+	in, k := guest.Decode(raw[:n])
+	if k == 0 {
+		return guest.Inst{Op: guest.BAD}, fmt.Errorf("tol: undecodable instruction at %#x", pc)
+	}
+	t.decode[pc] = in
+	return in, nil
+}
+
+// Run executes up to budget guest instructions (0 = until an event).
+func (t *TOL) Run(budget uint64) (RunResult, error) {
+	start := t.Stats.GuestInsns()
+	for !t.halted {
+		if budget > 0 && t.Stats.GuestInsns()-start >= budget {
+			return RunResult{Event: EvBudget}, nil
+		}
+		res, done, err := t.dispatch()
+		if err != nil {
+			return RunResult{}, err
+		}
+		if done {
+			return res, nil
+		}
+	}
+	return RunResult{Event: EvHalt}, nil
+}
+
+// dispatch is one iteration of the TOL main loop (paper Fig. 3).
+func (t *TOL) dispatch() (RunResult, bool, error) {
+	c := &t.Cfg.Costs
+	t.Stats.Dispatches++
+	t.Overhead.Charge(OvOther, c.DispatchLoop+c.StatsPerDispatch)
+	pc := t.CPU.EIP
+	t.Overhead.Charge(OvLookup, c.Lookup)
+	if blk, ok := t.Cache.Lookup(pc); ok {
+		return t.execBlock(blk)
+	}
+
+	in, err := t.Fetch(pc)
+	if err != nil {
+		return t.pageFaultResult(err)
+	}
+	switch in.Op {
+	case guest.SYSCALL:
+		t.Stats.Syscalls++
+		return RunResult{Event: EvSyscall}, true, nil
+	case guest.BAD:
+		return RunResult{}, false, fmt.Errorf("tol: illegal guest instruction at %#x", pc)
+	}
+	if !translatable(in.Op) {
+		// Safety net: interpret the complex instruction directly.
+		return t.interpretBB(pc)
+	}
+
+	t.repCount[pc]++
+	if t.repCount[pc] >= t.Cfg.BBThreshold && !t.noTranslate[pc] {
+		if err := t.doBBTranslation(pc); err != nil {
+			return t.pageFaultResult(err)
+		}
+		if !t.noTranslate[pc] {
+			return RunResult{}, false, nil // next dispatch executes it
+		}
+	}
+	return t.interpretBB(pc)
+}
+
+// doBBTranslation translates and installs the basic block at pc.
+func (t *TOL) doBBTranslation(pc uint32) error {
+	blk, err := t.translateBB(pc)
+	if err != nil {
+		return err
+	}
+	if blk == nil {
+		t.noTranslate[pc] = true
+		return nil
+	}
+	c := &t.Cfg.Costs
+	t.Overhead.Charge(OvBBTrans, c.BBTransFixed+c.BBTransPerInsn*uint64(blk.GuestInsns))
+	if t.Cache.Insert(blk) {
+		t.IBTC.Flush()
+	}
+	t.Stats.BBTranslations++
+	return nil
+}
+
+// pageFaultResult converts a page-fault error into a controller event.
+func (t *TOL) pageFaultResult(err error) (RunResult, bool, error) {
+	if pf, ok := err.(*guestvm.PageFaultError); ok {
+		t.Stats.PageRequests++
+		return RunResult{Event: EvNeedPage, FaultAddr: pf.Addr}, true, nil
+	}
+	return RunResult{}, false, err
+}
+
+// interpretBB interprets one basic block starting at pc (IM).
+func (t *TOL) interpretBB(pc uint32) (RunResult, bool, error) {
+	c := &t.Cfg.Costs
+	t.Stats.InterpBBs++
+	t.BBFreq[pc]++
+	t.LastDispatch = DispatchRecord{PC: pc, Mode: "im", BlockID: -1}
+	for {
+		in, err := t.Fetch(t.CPU.EIP)
+		if err != nil {
+			return t.pageFaultResult(err)
+		}
+		if in.Op == guest.SYSCALL {
+			t.Stats.Syscalls++
+			return RunResult{Event: EvSyscall}, true, nil
+		}
+		snapshot := t.CPU
+		ev, err := guest.Step(&t.CPU, t.Mem, &in)
+		if err != nil {
+			t.CPU = snapshot
+			return t.pageFaultResult(err)
+		}
+		t.Overhead.Charge(OvInterp, c.InterpPerInsn)
+		t.Stats.GuestInsnsIM++
+		t.midBB = true
+		if in.Op.EndsBasicBlock() {
+			t.Stats.GuestBBs++
+			t.midBB = false
+			if ev == guest.EvHalt {
+				t.halted = true
+				return RunResult{Event: EvHalt}, true, nil
+			}
+			return RunResult{}, false, nil
+		}
+	}
+}
+
+// execBlock runs translated code and handles its exit.
+func (t *TOL) execBlock(blk *codecache.Block) (RunResult, bool, error) {
+	c := &t.Cfg.Costs
+	t.Overhead.Charge(OvPrologue, c.Prologue)
+	t.BBFreq[blk.Entry]++
+	t.LastDispatch = DispatchRecord{PC: blk.Entry, Mode: blk.Kind.String(), BlockID: blk.ID}
+	t.VM.Regs.LoadGuest(&t.CPU)
+	res, rstats, err := t.VM.Run(blk, t.Cfg.RunFuel)
+	if err != nil {
+		return RunResult{}, false, err
+	}
+	t.VM.Regs.StoreGuest(&t.CPU)
+	t.CPU.EIP = res.NextPC
+	t.Overhead.Charge(OvPrologue, c.Epilogue)
+
+	t.Stats.GuestInsnsBBM += rstats.GuestInsnsBB
+	t.Stats.GuestInsnsSBM += rstats.GuestInsnsSB
+	t.Stats.GuestBBs += rstats.GuestBBs
+	t.Stats.HostInsnsBBM += rstats.HostInsnsBB
+	t.Stats.HostInsnsSBM += rstats.HostInsnsSB
+
+	// Superblock promotion for blocks that crossed the hot threshold.
+	for _, hot := range t.VM.DrainHot() {
+		if err := t.promote(hot); err != nil {
+			if _, isPF := err.(*guestvm.PageFaultError); isPF {
+				// Code page not yet resident: drop the promotion; the
+				// block stays hot and will be re-queued.
+				continue
+			}
+			return RunResult{}, false, err
+		}
+	}
+
+	switch res.Kind {
+	case hostvm.ExitToTOL:
+		if t.Cfg.DisableChaining {
+			return RunResult{}, false, nil
+		}
+		// Attempt to chain the taken exit to an existing translation.
+		t.Overhead.Charge(OvChaining, c.ChainAttempt)
+		if src, ok := t.Cache.Get(res.Block.ID); ok {
+			if dst, ok2 := t.Cache.Lookup(res.NextPC); ok2 {
+				if err := t.Cache.Chain(src, res.ExitIdx, dst); err == nil {
+					t.Overhead.Charge(OvChaining, c.ChainPatch)
+				}
+			}
+		}
+		return RunResult{}, false, nil
+	case hostvm.ExitIndirect:
+		if t.Cfg.DisableChaining {
+			return RunResult{}, false, nil
+		}
+		t.Overhead.Charge(OvChaining, c.ChainAttempt)
+		if dst, ok := t.Cache.Lookup(res.NextPC); ok {
+			t.IBTC.Insert(res.NextPC, dst.ID)
+			t.Overhead.Charge(OvChaining, c.IBTCInsert)
+		}
+		return RunResult{}, false, nil
+	case hostvm.ExitAssertFail:
+		if res.Block.Kind == codecache.KindSuperblock && res.Block.AssertFails >= t.SBCfg.AssertLimit {
+			if err := t.rebuild(res.Block, func(o *sbOptions) { o.noAsserts = true }); err != nil {
+				return RunResult{}, false, err
+			}
+			t.Stats.AssertRebuilds++
+		}
+		// Forward progress through the interpreter (§V-B1).
+		return t.interpretBB(t.CPU.EIP)
+	case hostvm.ExitMemSpecFail:
+		if res.Block.Kind == codecache.KindSuperblock && res.Block.SpecFails >= t.SBCfg.SpecLimit {
+			if err := t.rebuild(res.Block, func(o *sbOptions) { o.noMemSpec = true }); err != nil {
+				return RunResult{}, false, err
+			}
+			t.Stats.SpecRebuilds++
+		}
+		return t.interpretBB(t.CPU.EIP)
+	case hostvm.ExitPageFault:
+		t.Stats.PageRequests++
+		return RunResult{Event: EvNeedPage, FaultAddr: res.FaultAddr}, true, nil
+	}
+	return RunResult{}, false, fmt.Errorf("tol: unhandled exit kind %v", res.Kind)
+}
+
+// promote builds and installs a superblock rooted at a hot BBM block.
+func (t *TOL) promote(entry uint32) error {
+	plan, err := t.formSuperblock(entry)
+	if err != nil {
+		return err
+	}
+	opts := t.sbOpts[entry]
+	if t.SBCfg.NoAsserts {
+		opts.noAsserts = true
+	}
+	blk, st, err := t.translateSuperblock(plan, opts)
+	if err != nil {
+		return err
+	}
+	c := &t.Cfg.Costs
+	t.Overhead.Charge(OvSBTrans, c.SBTransFixed+c.SBTransPerInsn*uint64(blk.GuestInsns))
+	if t.Cache.Insert(blk) {
+		t.IBTC.Flush()
+	}
+	t.Stats.SBTranslations++
+	t.Stats.SpecLoadsSched += uint64(st.Sched.SpecLoads)
+	if plan.unrolled > 1 {
+		t.Stats.UnrolledLoops++
+	}
+	return nil
+}
+
+// rebuild recreates a superblock with reduced speculation.
+func (t *TOL) rebuild(blk *codecache.Block, adjust func(*sbOptions)) error {
+	entry := blk.Entry
+	o := t.sbOpts[entry]
+	adjust(&o)
+	t.sbOpts[entry] = o
+	if _, ok := t.Cache.Get(blk.ID); ok {
+		t.Cache.Invalidate(blk)
+	}
+	return t.promote(entry)
+}

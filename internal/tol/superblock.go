@@ -1,0 +1,280 @@
+package tol
+
+import (
+	"darco/internal/codecache"
+	"darco/internal/guest"
+	"darco/internal/ir"
+)
+
+// Superblock formation (§V-B3): starting from a hot basic block, follow
+// the biased direction of branches recorded by the BBM software edge
+// counters, forming a single-entry region. With control speculation
+// enabled the inter-block branches become asserts (single-exit); after
+// excessive assert failures the region is recreated multi-exit. Single-
+// basic-block loops are unrolled.
+
+// SBConfig parameterises superblock formation.
+type SBConfig struct {
+	MaxInsns     int     // superblock instruction budget
+	MaxBBs       int     // superblock basic-block budget
+	BiasThresh   float64 // minimum branch bias to speculate a direction
+	MinReach     float64 // minimum cumulative probability to extend
+	UnrollFactor int     // single-BB loop unroll factor
+	MaxSpecLoads int     // speculative load budget per region
+	NoAsserts    bool    // ablation: always build multi-exit superblocks
+	AssertLimit  uint64  // assert failures before rebuilding multi-exit
+	SpecLimit    uint64  // memory speculation failures before rebuilding
+}
+
+// DefaultSBConfig mirrors the paper's description.
+func DefaultSBConfig() SBConfig {
+	return SBConfig{
+		MaxInsns:     200,
+		MaxBBs:       16,
+		BiasThresh:   0.9,
+		MinReach:     0.35,
+		UnrollFactor: 4,
+		MaxSpecLoads: 12,
+		AssertLimit:  16,
+		SpecLimit:    8,
+	}
+}
+
+// branchProfile is the edge profile of one translated basic block.
+type branchProfile struct {
+	taken, notTaken uint64
+}
+
+// profileOf extracts the edge counters from a BBM block ending in a
+// conditional branch.
+func (t *TOL) profileOf(entry uint32) (branchProfile, bool) {
+	blk, ok := t.Cache.Lookup(entry)
+	if !ok || blk.Kind != codecache.KindBB {
+		return branchProfile{}, false
+	}
+	var p branchProfile
+	found := false
+	for idx, meta := range blk.ExitMeta {
+		c := blk.ExitCounts[idx]
+		if meta.Taken {
+			p.taken += c
+			found = true
+		} else {
+			p.notTaken += c
+		}
+	}
+	return p, found
+}
+
+// sbStep is one basic block of a forming superblock plus the speculated
+// direction of its terminator.
+type sbStep struct {
+	bb       *bbInfo
+	dirTaken bool // speculated direction (valid for conditional terminators)
+	isLast   bool
+}
+
+// sbPlan is a formed superblock prior to translation.
+type sbPlan struct {
+	entry    uint32
+	steps    []sbStep
+	unrolled int // >1 when the region is an unrolled single-BB loop
+}
+
+// formSuperblock walks the biased path from start.
+func (t *TOL) formSuperblock(start uint32) (*sbPlan, error) {
+	cfg := t.SBCfg
+	plan := &sbPlan{entry: start}
+	visited := map[uint32]bool{start: true}
+	pc := start
+	prob := 1.0
+	insns := 0
+	for {
+		bb, err := decodeBB(t.Fetch, pc)
+		if err != nil {
+			return nil, err
+		}
+		step := sbStep{bb: bb}
+		insns += bb.staticLen()
+		d := bb.term.Op.Desc()
+		stop := func() *sbPlan {
+			step.isLast = true
+			plan.steps = append(plan.steps, step)
+			return plan
+		}
+		if len(plan.steps)+1 >= cfg.MaxBBs || insns >= cfg.MaxInsns {
+			return stop(), nil
+		}
+		switch {
+		case d.IsCond:
+			prof, ok := t.profileOf(bb.entry)
+			if !ok || prof.taken+prof.notTaken == 0 {
+				return stop(), nil
+			}
+			pT := float64(prof.taken) / float64(prof.taken+prof.notTaken)
+			var next uint32
+			switch {
+			case pT >= cfg.BiasThresh:
+				step.dirTaken = true
+				next = bb.term.Target(bb.termPC)
+				prob *= pT
+			case pT <= 1-cfg.BiasThresh:
+				step.dirTaken = false
+				next = bb.nextPC
+				prob *= 1 - pT
+			default:
+				return stop(), nil // unbiased branch ends the superblock
+			}
+			if prob < cfg.MinReach {
+				return stop(), nil
+			}
+			if next == start && len(plan.steps) == 0 && step.dirTaken && cfg.UnrollFactor > 1 {
+				// Single-basic-block loop: unroll.
+				step.isLast = true
+				plan.steps = append(plan.steps, step)
+				plan.unrolled = cfg.UnrollFactor
+				return plan, nil
+			}
+			if visited[next] {
+				return stop(), nil // larger loop: end the region
+			}
+			visited[next] = true
+			plan.steps = append(plan.steps, step)
+			pc = next
+		case bb.term.Op == guest.JMP:
+			next := bb.term.Target(bb.termPC)
+			if visited[next] {
+				return stop(), nil
+			}
+			visited[next] = true
+			plan.steps = append(plan.steps, step)
+			pc = next
+		default:
+			// Indirect branch, call, return, or untranslatable
+			// terminator ends the superblock.
+			return stop(), nil
+		}
+	}
+}
+
+// sbOptions records per-entry rebuild decisions after speculation
+// failures.
+type sbOptions struct {
+	noAsserts bool // recreate without converting branches to asserts
+	noMemSpec bool // recreate without speculative memory reordering
+	level     OptLevel
+}
+
+// translateSuperblock lowers a plan to a code cache block.
+func (t *TOL) translateSuperblock(plan *sbPlan, opts sbOptions) (*codecache.Block, regionStats, error) {
+	useAsserts := !opts.noAsserts
+	x, bbs, staticInsns, err := buildSuperblockIR(plan, useAsserts, t.Cfg.EagerFlags)
+	if err != nil {
+		return nil, regionStats{}, err
+	}
+
+	maxSpec := t.SBCfg.MaxSpecLoads
+	if opts.noMemSpec {
+		maxSpec = 0
+	}
+	level := opts.level
+	if level == LevelDefault {
+		level = LevelFull
+	}
+	gen, st, err := lowerRegion(x.r, true, maxSpec, level, t.Cfg.MutateRegion)
+	if err != nil {
+		return nil, st, err
+	}
+	blk := &codecache.Block{
+		Entry:      plan.entry,
+		Kind:       codecache.KindSuperblock,
+		Code:       gen.Code,
+		UseAsserts: useAsserts,
+		Unrolled:   plan.unrolled,
+		GuestInsns: staticInsns,
+		BBs:        bbs,
+		ExitMeta:   convertMeta(gen.ExitMeta),
+	}
+	return blk, st, nil
+}
+
+// buildSuperblockIR translates a superblock plan into an IR region.
+func buildSuperblockIR(plan *sbPlan, useAsserts, eagerFlags bool) (*xlate, []uint32, int, error) {
+	x := newXlate(plan.entry, useAsserts)
+	x.eager = eagerFlags
+	var bbs []uint32
+	staticInsns := 0
+
+	emitStep := func(step sbStep, forceAssertTerm bool) error {
+		bb := step.bb
+		bbs = append(bbs, bb.entry)
+		staticInsns += bb.staticLen()
+		if err := x.translateBody(bb); err != nil {
+			return err
+		}
+		if step.isLast && !forceAssertTerm {
+			return x.translateTerminator(bb)
+		}
+		// Interior conditional branch (or unrolled iteration): follow
+		// the speculated direction.
+		x.gpc = bb.termPC
+		d := bb.term.Op.Desc()
+		switch {
+		case d.IsCond:
+			cond := x.cond(bb.term.Op)
+			if !step.dirTaken {
+				cond = x.op2(ir.Xor, cond, x.constI(1))
+			}
+			x.guestInsns++
+			x.guestBBs++
+			if useAsserts {
+				x.emitAssert(cond)
+			} else {
+				// Multi-exit superblock: off-path side exit.
+				off := bb.nextPC
+				if !step.dirTaken {
+					off = bb.term.Target(bb.termPC)
+				}
+				notCond := x.op2(ir.Xor, cond, x.constI(1))
+				x.emitExitIf(notCond, off, !step.dirTaken)
+			}
+		case bb.term.Op == guest.JMP:
+			x.guestInsns++
+			x.guestBBs++
+		}
+		return nil
+	}
+
+	if plan.unrolled > 1 {
+		step := plan.steps[0]
+		loopTarget := step.bb.term.Target(step.bb.termPC)
+		for it := 0; it < plan.unrolled; it++ {
+			last := it == plan.unrolled-1
+			if !last {
+				if err := emitStep(sbStep{bb: step.bb, dirTaken: true}, true); err != nil {
+					return nil, nil, 0, err
+				}
+			} else {
+				// Final unrolled iteration keeps the real branch.
+				bbs = append(bbs, step.bb.entry)
+				staticInsns += step.bb.staticLen()
+				if err := x.translateBody(step.bb); err != nil {
+					return nil, nil, 0, err
+				}
+				x.gpc = step.bb.termPC
+				cond := x.cond(step.bb.term.Op)
+				x.guestInsns++
+				x.guestBBs++
+				x.emitExitIf(cond, loopTarget, true)
+				x.emitExit(step.bb.nextPC, false)
+			}
+		}
+	} else {
+		for _, step := range plan.steps {
+			if err := emitStep(step, false); err != nil {
+				return nil, nil, 0, err
+			}
+		}
+	}
+	return x, bbs, staticInsns, nil
+}

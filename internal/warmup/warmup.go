@@ -1,0 +1,277 @@
+// Package warmup implements the paper's case study (§VI-E): a warm-up
+// simulation methodology for HW/SW co-designed processors.
+//
+// Sampling-based simulation must warm up the TOL's software state in
+// addition to the microarchitectural state; an inaccurate TOL profiler
+// state costs thousands to tens of thousands of cycles per spurious
+// region translation, so naive warm-up periods must be 3–4 orders of
+// magnitude longer than for conventional processors. The methodology
+// downscales the TOL promotion thresholds during the warm-up phase — so
+// code is promoted to the higher optimization regions quickly — and
+// restores the original thresholds while collecting statistics. An
+// off-line heuristic correlates the basic-block execution distribution
+// of candidate (scale factor, warm-up length) configurations against
+// the authoritative execution distribution and picks the best match.
+package warmup
+
+import (
+	"fmt"
+	"math"
+
+	"darco/internal/controller"
+	"darco/internal/guest"
+	"darco/internal/guestvm"
+	"darco/internal/timing"
+	"darco/internal/tol"
+)
+
+// Candidate is one (scale factor, warm-up length) configuration.
+type Candidate struct {
+	Scale   uint32 // promotion thresholds are divided by Scale during warm-up
+	WarmLen uint64 // warm-up length in guest instructions
+}
+
+// Config parameterises a study.
+type Config struct {
+	TOL    tol.Config
+	Timing timing.Config
+
+	NumSamples int    // sample windows per program
+	SampleLen  uint64 // detailed-simulation length per sample, guest insns
+
+	Candidates []Candidate
+
+	// FunctionalSpeedup is how much faster functional emulation is than
+	// detailed timing simulation (the paper's Table §VI-A ratio ~9x);
+	// it weights warm-up cost against detailed-simulation cost.
+	FunctionalSpeedup float64
+}
+
+// DefaultConfig mirrors the case study's setup.
+func DefaultConfig() Config {
+	return Config{
+		TOL:        tol.DefaultConfig(),
+		Timing:     timing.DefaultConfig(),
+		NumSamples: 3,
+		SampleLen:  60_000,
+		Candidates: []Candidate{
+			{Scale: 1, WarmLen: 4_000},   // naive short warm-up: cold TOL
+			{Scale: 1, WarmLen: 150_000}, // naive long warm-up: accurate, expensive
+			{Scale: 2, WarmLen: 80_000},
+			{Scale: 5, WarmLen: 40_000},
+			{Scale: 10, WarmLen: 50_000},
+			{Scale: 20, WarmLen: 30_000},
+			{Scale: 50, WarmLen: 8_000},
+		},
+		FunctionalSpeedup: 9,
+	}
+}
+
+// CandidateResult is the measured outcome of one candidate.
+type CandidateResult struct {
+	Candidate
+	CPGI       float64 // estimated cycles per guest instruction
+	ErrorPct   float64 // |CPGI - full CPGI| / full CPGI * 100
+	CostInsns  float64 // detailed-equivalent instructions simulated
+	Reduction  float64 // full cost / candidate cost
+	Similarity float64 // heuristic score vs authoritative distribution
+}
+
+// StudyResult is the outcome of a warm-up study on one program.
+type StudyResult struct {
+	FullCPGI   float64
+	FullCost   float64 // detailed-simulated host instructions, full run
+	TotalGuest uint64
+	Candidates []CandidateResult
+	Chosen     CandidateResult // heuristic pick (best similarity)
+}
+
+// RunStudy executes the methodology on one guest program.
+func RunStudy(im *guest.Image, cfg Config) (*StudyResult, error) {
+	full, err := fullReference(im, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &StudyResult{FullCPGI: full.cpgi, FullCost: full.cost, TotalGuest: full.guest}
+
+	// Sample starts, evenly spaced and clear of program start/end.
+	starts := make([]uint64, cfg.NumSamples)
+	for i := range starts {
+		starts[i] = full.guest * uint64(i+1) / uint64(cfg.NumSamples+2)
+	}
+
+	// Authoritative execution distributions at each sample point, from
+	// a cheap functional run of the x86 component.
+	authDist, err := authoritativeDistributions(im, starts)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, cand := range cfg.Candidates {
+		cr, err := evaluate(im, cfg, cand, starts, authDist, full.cpgi)
+		if err != nil {
+			return nil, err
+		}
+		cr.Reduction = full.cost / cr.CostInsns
+		res.Candidates = append(res.Candidates, *cr)
+	}
+
+	// Heuristic: pick the candidate whose warm-up execution
+	// distribution best matches the authoritative distribution;
+	// among near-ties (within 2% of the best match) prefer the
+	// cheapest configuration.
+	best := 0
+	for i := range res.Candidates {
+		if res.Candidates[i].Similarity > res.Candidates[best].Similarity {
+			best = i
+		}
+	}
+	chosen := best
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		if c.Similarity >= 0.98*res.Candidates[best].Similarity &&
+			c.Reduction > res.Candidates[chosen].Reduction {
+			chosen = i
+		}
+	}
+	res.Chosen = res.Candidates[chosen]
+	return res, nil
+}
+
+type fullRun struct {
+	cpgi  float64
+	cost  float64
+	guest uint64
+}
+
+// fullReference performs the authoritative full detailed simulation.
+func fullReference(im *guest.Image, cfg Config) (*fullRun, error) {
+	ctl, err := controller.New(im, controller.Config{TOL: cfg.TOL})
+	if err != nil {
+		return nil, err
+	}
+	core := timing.New(cfg.Timing)
+	ctl.CoD.VM.Retire = core.Consume
+	if err := ctl.Run(0); err != nil {
+		return nil, err
+	}
+	core.AddTOL(ctl.CoD.Overhead.Total())
+	guestN := ctl.CoD.Stats.GuestInsns()
+	if guestN == 0 {
+		return nil, fmt.Errorf("warmup: empty program")
+	}
+	return &fullRun{
+		cpgi:  float64(core.Stats.Cycles) / float64(guestN),
+		cost:  float64(core.Stats.Insns + core.Stats.TOLInsns),
+		guest: guestN,
+	}, nil
+}
+
+// authoritativeDistributions collects the basic-block execution
+// frequency distribution of the program prefix ending at each sample
+// start.
+func authoritativeDistributions(im *guest.Image, starts []uint64) ([]map[uint32]uint64, error) {
+	vm, err := guestvm.New(im)
+	if err != nil {
+		return nil, err
+	}
+	vm.BBFreq = make(map[uint32]uint64)
+	out := make([]map[uint32]uint64, len(starts))
+	for i, s := range starts {
+		if _, err := vm.Run(guestvm.RunLimits{InsnCount: s}); err != nil {
+			return nil, err
+		}
+		snap := make(map[uint32]uint64, len(vm.BBFreq))
+		for k, v := range vm.BBFreq {
+			snap[k] = v
+		}
+		out[i] = snap
+	}
+	return out, nil
+}
+
+// evaluate measures one candidate across all samples.
+func evaluate(im *guest.Image, cfg Config, cand Candidate, starts []uint64,
+	authDist []map[uint32]uint64, fullCPGI float64) (*CandidateResult, error) {
+
+	var cycles, guestInsns uint64
+	var cost float64
+	var sim float64
+
+	for si, start := range starts {
+		warmStart := uint64(0)
+		if start > cand.WarmLen {
+			warmStart = start - cand.WarmLen
+		}
+		// Functional fast-forward of the authoritative component.
+		x86, err := guestvm.New(im)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := x86.Run(guestvm.RunLimits{InsnCount: warmStart}); err != nil {
+			return nil, err
+		}
+		// Transplant into a fresh co-designed component: cold TOL.
+		ctl := controller.NewFrom(x86, controller.Config{TOL: cfg.TOL})
+
+		// Warm-up phase with downscaled promotion thresholds.
+		bb, sb := ctl.CoD.Thresholds()
+		ctl.CoD.SetThresholds(bb/cand.Scale, sb/uint64(cand.Scale))
+		if err := ctl.Run(cand.WarmLen); err != nil {
+			return nil, err
+		}
+		warmOverhead := ctl.CoD.Overhead.Total()
+		warmApp := ctl.CoD.VM.AppInsns
+
+		// Heuristic input: how well does the warmed TOL's execution
+		// distribution match the authoritative prefix distribution?
+		sim += cosine(ctl.CoD.BBFreq, authDist[si])
+
+		// Measurement phase: original thresholds, timing attached.
+		ctl.CoD.SetThresholds(bb, sb)
+		core := timing.New(cfg.Timing)
+		ctl.CoD.VM.Retire = core.Consume
+		g0 := ctl.CoD.Stats.GuestInsns()
+		if err := ctl.Run(cfg.SampleLen); err != nil {
+			return nil, err
+		}
+		core.AddTOL(ctl.CoD.Overhead.Total() - warmOverhead)
+		cycles += core.Stats.Cycles
+		guestInsns += ctl.CoD.Stats.GuestInsns() - g0
+
+		// Cost: detailed-simulated instructions plus functionally
+		// executed warm-up instructions weighted by the speed ratio.
+		cost += float64(core.Stats.Insns + core.Stats.TOLInsns)
+		cost += float64(warmApp+warmOverhead) / cfg.FunctionalSpeedup
+		cost += float64(warmStart) / (cfg.FunctionalSpeedup * 6) // guest-only fast-forward
+	}
+
+	cr := &CandidateResult{Candidate: cand, CostInsns: cost, Similarity: sim / float64(len(starts))}
+	if guestInsns > 0 {
+		cr.CPGI = float64(cycles) / float64(guestInsns)
+	}
+	if fullCPGI > 0 {
+		cr.ErrorPct = math.Abs(cr.CPGI-fullCPGI) / fullCPGI * 100
+	}
+	return cr, nil
+}
+
+// cosine computes the cosine similarity of two sparse distributions.
+func cosine(a map[uint32]uint64, b map[uint32]uint64) float64 {
+	var dot, na, nb float64
+	for k, va := range a {
+		fa := float64(va)
+		na += fa * fa
+		if vb, ok := b[k]; ok {
+			dot += fa * float64(vb)
+		}
+	}
+	for _, vb := range b {
+		fb := float64(vb)
+		nb += fb * fb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

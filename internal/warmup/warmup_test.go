@@ -1,0 +1,62 @@
+package warmup
+
+import (
+	"testing"
+
+	"darco/internal/workload"
+)
+
+func TestCosine(t *testing.T) {
+	a := map[uint32]uint64{1: 10, 2: 20}
+	if c := cosine(a, a); c < 0.999 {
+		t.Errorf("self similarity %g", c)
+	}
+	b := map[uint32]uint64{3: 5}
+	if c := cosine(a, b); c != 0 {
+		t.Errorf("disjoint similarity %g", c)
+	}
+	if c := cosine(nil, a); c != 0 {
+		t.Errorf("empty similarity %g", c)
+	}
+}
+
+func TestStudySmall(t *testing.T) {
+	p, _ := workload.ByName("462.libquantum")
+	im, err := p.Scale(0.12).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.NumSamples = 2
+	cfg.SampleLen = 15_000
+	cfg.Candidates = []Candidate{
+		{Scale: 1, WarmLen: 1_000},   // cold
+		{Scale: 20, WarmLen: 20_000}, // scaled warm-up
+	}
+	st, err := RunStudy(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FullCPGI <= 0 || st.FullCost <= 0 {
+		t.Fatalf("reference run: %+v", st)
+	}
+	if len(st.Candidates) != 2 {
+		t.Fatalf("candidates %d", len(st.Candidates))
+	}
+	cold, warm := st.Candidates[0], st.Candidates[1]
+	if warm.ErrorPct >= cold.ErrorPct {
+		t.Errorf("scaled warm-up (%.1f%%) should beat cold (%.1f%%)", warm.ErrorPct, cold.ErrorPct)
+	}
+	if warm.Similarity <= cold.Similarity {
+		t.Errorf("scaled warm-up should match the authoritative distribution better: %.3f vs %.3f",
+			warm.Similarity, cold.Similarity)
+	}
+	if st.Chosen.Scale != 20 {
+		t.Errorf("heuristic picked scale %d", st.Chosen.Scale)
+	}
+	for _, c := range st.Candidates {
+		if c.Reduction <= 1 {
+			t.Errorf("scale %d warm %d: no cost reduction (%.2fx)", c.Scale, c.WarmLen, c.Reduction)
+		}
+	}
+}

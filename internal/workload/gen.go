@@ -1,0 +1,326 @@
+// Package workload provides deterministic synthetic guest programs
+// standing in for the paper's SPEC CPU2006 and Physicsbench binaries
+// (DESIGN.md §2). Each benchmark is generated from a Profile whose knobs
+// reproduce the characteristics the paper identifies as driving its
+// results: basic block size, dynamic-to-static instruction ratio, branch
+// bias, and the floating-point / trigonometric instruction mix.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"darco/internal/guest"
+)
+
+// Profile parameterises one synthetic benchmark.
+type Profile struct {
+	Name  string
+	Suite string
+
+	Funcs      int     // distinct functions: static code volume
+	BBSize     int     // average work-segment (basic block) size in instructions
+	SegsPerBB  int     // work segments per inner-loop body
+	InnerTrip  int     // hot inner loop trip count
+	OuterIters int     // outer repetitions: dynamic/static ratio driver
+	FPFrac     float64 // fraction of work segments that are floating point
+	TrigFrac   float64 // fraction of FP segments using sin/cos
+	RareBits   int     // interior branch bias: taken 1/2^RareBits of the time
+	Unbiased   bool    // add a 50/50 interior branch per function
+	Indirect   bool    // call some functions through a pointer table
+	Strings    bool    // include MOVS/STOS memcpy segments
+	Seed       uint64
+}
+
+// Scale returns a copy with the dynamic work multiplied by f.
+func (p Profile) Scale(f float64) Profile {
+	q := p
+	q.OuterIters = int(float64(p.OuterIters)*f + 0.5)
+	if q.OuterIters < 1 {
+		q.OuterIters = 1
+	}
+	return q
+}
+
+// rng is a splitmix64 deterministic generator.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) f64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+const (
+	dataBase  = 0x0010_0000 // per-function data slabs
+	slabSize  = 0x4000
+	tableBase = 0x000F_0000 // indirect call pointer table
+	outBase   = 0x000E_0000 // checksum output buffer
+)
+
+// Generate builds the guest program image.
+func (p Profile) Generate() (*guest.Image, error) {
+	src := p.Source()
+	im, err := guest.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
+	}
+	return im, nil
+}
+
+// Source renders the benchmark's assembly text.
+func (p Profile) Source() string {
+	r := &rng{s: p.Seed ^ 0xDA5C0}
+	var b strings.Builder
+	w := func(format string, args ...any) {
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+	}
+
+	w("; synthetic benchmark %s (%s)", p.Name, p.Suite)
+	w(".org 0x1000")
+	w(".entry start")
+	w("start:")
+	w("    movri ebx, %d", int32(p.Seed&0x7FFFFFFF)) // checksum accumulator
+	w("    movri edx, %d", p.OuterIters)
+	w("outer:")
+	for f := 0; f < p.Funcs; f++ {
+		if p.Indirect && f%3 == 2 {
+			// Indirect call through the pointer table.
+			w("    movri eax, %d", tableBase+4*f)
+			w("    load eax, [eax+0]")
+			w("    callr eax")
+		} else {
+			w("    call func%d", f)
+		}
+	}
+	w("    dec edx")
+	w("    cmpri edx, 0")
+	w("    jg outer")
+	// Emit the checksum and exit.
+	w("    movri eax, %d", outBase)
+	w("    store [eax+0], ebx")
+	w("    movri eax, 4") // SysWrite
+	w("    movri ecx, %d", outBase)
+	w("    movri edx, 4")
+	w("    movri ebx, 1")
+	w("    syscall")
+	w("    movri eax, 1") // SysExit
+	w("    movri ebx, 0")
+	w("    syscall")
+	w("    halt")
+
+	for f := 0; f < p.Funcs; f++ {
+		p.genFunc(&b, r, f)
+	}
+
+	// Indirect call table.
+	w(".org %d", tableBase)
+	for f := 0; f < p.Funcs; f++ {
+		w("    .word 0") // patched below via labels; assembler lacks .word @label
+	}
+	// Data slabs initialised with deterministic values.
+	w(".org %d", dataBase)
+	for i := 0; i < 64; i++ {
+		w("    .word %d", int32(r.next()))
+	}
+	src := b.String()
+	// Replace the pointer table with label references (two-pass trick:
+	// the assembler supports '@label' immediates, so emit loader code
+	// instead). Simpler: build the table at startup.
+	return p.patchTable(src)
+}
+
+// patchTable rewrites the program so the indirect-call table is filled
+// by startup code (the assembler's .word directive cannot reference
+// labels).
+func (p Profile) patchTable(src string) string {
+	if !p.Indirect {
+		return src
+	}
+	var fill strings.Builder
+	fill.WriteString("start:\n")
+	for f := 0; f < p.Funcs; f++ {
+		if f%3 == 2 {
+			fmt.Fprintf(&fill, "    movri eax, @func%d\n", f)
+			fmt.Fprintf(&fill, "    movri ecx, %d\n", tableBase+4*f)
+			fmt.Fprintf(&fill, "    store [ecx+0], eax\n")
+		}
+	}
+	return strings.Replace(src, "start:\n", fill.String(), 1)
+}
+
+// genFunc emits one function: an inner loop over work segments with
+// biased interior branches, memory traffic on a private slab, and the
+// profile's FP/trig mix.
+func (p Profile) genFunc(b *strings.Builder, r *rng, f int) {
+	w := func(format string, args ...any) {
+		fmt.Fprintf(b, format, args...)
+		b.WriteByte('\n')
+	}
+	slab := dataBase + (f%32)*slabSize
+	w("func%d:", f)
+	w("    push ecx")
+	w("    push edx")
+	w("    push ebp")
+	w("    movri ebp, %d", slab)
+	w("    movri ecx, %d", p.InnerTrip)
+	w("f%d_loop:", f)
+
+	segs := p.SegsPerBB
+	if segs < 1 {
+		segs = 1
+	}
+	for s := 0; s < segs; s++ {
+		isFP := r.f64() < p.FPFrac
+		if isFP {
+			p.genFPSegment(b, r, f, s)
+		} else {
+			p.genIntSegment(b, r, f, s)
+		}
+		// Interior biased branch: taken 1/2^RareBits of the time.
+		if p.RareBits > 0 && s+1 < segs {
+			mask := (1 << p.RareBits) - 1
+			w("    movrr eax, ecx")
+			w("    andri eax, %d", mask)
+			w("    cmpri eax, 0")
+			w("    jne f%d_cont%d", f, s)
+			// Rare path: extra checksum stir.
+			w("    addri ebx, %d", int32(r.next()&0xFFFF))
+			w("    xorri ebx, %d", int32(r.next()&0xFFFF))
+			w("f%d_cont%d:", f, s)
+		}
+	}
+	if p.Unbiased {
+		// 50/50 branch on the loop counter's parity.
+		w("    movrr eax, ecx")
+		w("    andri eax, 1")
+		w("    cmpri eax, 0")
+		w("    je f%d_even", f)
+		w("    addri ebx, 13")
+		w("    jmp f%d_join", f)
+		w("f%d_even:", f)
+		w("    subri ebx, 7")
+		w("f%d_join:", f)
+	}
+	if p.Strings && f%4 == 1 {
+		// memcpy-like segment through the string safety net, guarded
+		// so it fires on a fraction of iterations. MOVS consumes ECX,
+		// so the loop counter is preserved on the stack.
+		w("    movrr eax, ecx")
+		w("    andri eax, 15")
+		w("    cmpri eax, 0")
+		w("    jne f%d_nostr", f)
+		w("    push ecx")
+		w("    movri esi, %d", slab)
+		w("    movri edi, %d", slab+2048)
+		w("    movri ecx, 64")
+		w("    movs")
+		w("    pop ecx")
+		w("f%d_nostr:", f)
+	}
+
+	w("    dec ecx")
+	w("    cmpri ecx, 0")
+	w("    jg f%d_loop", f)
+	w("    pop ebp")
+	w("    pop edx")
+	w("    pop ecx")
+	w("    ret")
+}
+
+// genIntSegment emits ~BBSize integer instructions with loads/stores.
+func (p Profile) genIntSegment(b *strings.Builder, r *rng, f, s int) {
+	w := func(format string, args ...any) {
+		fmt.Fprintf(b, format, args...)
+		b.WriteByte('\n')
+	}
+	n := p.BBSize
+	w("    movrr esi, ecx")
+	w("    andri esi, 255")
+	w("    loadx eax, [ebp+esi<<2+%d]", (s%4)*1024)
+	emitted := 3
+	for emitted < n-2 {
+		switch r.intn(8) {
+		case 0:
+			w("    addri eax, %d", int32(r.next()&0xFFFF))
+		case 1:
+			w("    imulri eax, %d", 3+r.intn(13))
+		case 2:
+			w("    xorri eax, %d", int32(r.next()&0xFFFFFF))
+		case 3:
+			w("    shlri eax, %d", 1+r.intn(5))
+		case 4:
+			w("    shrri eax, %d", 1+r.intn(5))
+		case 5:
+			w("    addrr eax, esi")
+		case 6:
+			w("    orri eax, %d", int32(r.next()&0xFFFF))
+		case 7:
+			w("    subri eax, %d", int32(r.next()&0xFFFF))
+		}
+		emitted++
+	}
+	w("    storex [ebp+esi<<2+%d], eax", (s%4)*1024)
+	w("    xorrr ebx, eax")
+}
+
+// genFPSegment emits a floating point work segment; a TrigFrac subset
+// uses the software-emulated sin/cos.
+func (p Profile) genFPSegment(b *strings.Builder, r *rng, f, s int) {
+	w := func(format string, args ...any) {
+		fmt.Fprintf(b, format, args...)
+		b.WriteByte('\n')
+	}
+	off := 2048 + (s%4)*512
+	w("    movrr esi, ecx")
+	w("    andri esi, 63")
+	w("    shlri esi, 3")
+	w("    addrr esi, ebp")
+	w("    fld f0, [esi+%d]", off)
+	n := p.BBSize
+	emitted := 5
+	useTrig := r.f64() < p.TrigFrac
+	w("    fldi f1, %.6f", 0.25+r.f64())
+	emitted++
+	for emitted < n-3 {
+		switch r.intn(5) {
+		case 0:
+			w("    fadd f0, f1")
+		case 1:
+			w("    fmul f0, f1")
+		case 2:
+			w("    fsub f0, f1")
+		case 3:
+			w("    fabs f2, f0")
+			w("    fadd f0, f2")
+			emitted++
+		case 4:
+			w("    fldi f2, %.6f", 0.5+r.f64())
+			w("    fmul f1, f2")
+			emitted++
+		}
+		emitted++
+	}
+	if useTrig {
+		w("    fsin f2, f0")
+		w("    fadd f0, f2")
+		w("    fcos f2, f1")
+		w("    fadd f0, f2")
+	}
+	// Keep magnitudes bounded and fold into the checksum.
+	w("    fldi f3, 4096.0")
+	w("    fcmp f0, f3")
+	w("    jb f%d_s%d_ok", f, s)
+	w("    fldi f0, 1.5")
+	w("f%d_s%d_ok:", f, s)
+	w("    fst [esi+%d], f0", off)
+	w("    cvtfi eax, f0")
+	w("    xorrr ebx, eax")
+}

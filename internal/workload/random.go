@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"darco/internal/guest"
+)
+
+// RandomProgram generates a random but always-terminating guest program
+// for differential testing: the full co-designed pipeline must produce
+// exactly the architectural and memory state of the authoritative
+// emulator on every one. Programs mix straight-line ALU/FP/memory code,
+// bounded counted loops (hot enough to promote through BBM into SBM),
+// calls, indirect jumps, string instructions and system calls.
+func RandomProgram(seed uint64) (*guest.Image, error) {
+	src := RandomProgramSource(seed)
+	im, err := guest.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("random program %d: %w\n%s", seed, err, src)
+	}
+	return im, nil
+}
+
+// RandomProgramSource renders the assembly text for RandomProgram.
+func RandomProgramSource(seed uint64) string {
+	r := &rng{s: seed*0x9E3779B9 + 0xB7E15162}
+	var b strings.Builder
+	w := func(format string, args ...any) {
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+	}
+	const dataAt = 0x200000
+	nFuncs := 2 + r.intn(4)
+
+	w(".org 0x1000")
+	w(".entry start")
+	w("start:")
+	w("    movri ebp, %d", dataAt)
+	w("    movri ebx, %d", int32(seed))
+	// Call every function a loop-count that promotes hot code.
+	w("    movri edx, %d", 2+r.intn(3))
+	w("outer:")
+	for f := 0; f < nFuncs; f++ {
+		if r.intn(4) == 0 {
+			// Indirect call through a register.
+			w("    movri eax, @rfunc%d", f)
+			w("    callr eax")
+		} else {
+			w("    call rfunc%d", f)
+		}
+	}
+	w("    dec edx")
+	w("    cmpri edx, 0")
+	w("    jg outer")
+	w("    movri eax, 1")
+	w("    movri ebx, 0")
+	w("    syscall")
+	w("    halt")
+
+	for f := 0; f < nFuncs; f++ {
+		emitRandomFunc(&b, r, f, dataAt)
+	}
+	return b.String()
+}
+
+// emitRandomFunc emits a function with a bounded loop of random work.
+func emitRandomFunc(b *strings.Builder, r *rng, f int, dataAt int) {
+	w := func(format string, args ...any) {
+		fmt.Fprintf(b, format, args...)
+		b.WriteByte('\n')
+	}
+	w("rfunc%d:", f)
+	w("    push ecx")
+	w("    push edx")
+	// Loop trip count large enough to reach SBM on some functions.
+	trip := []int{8, 40, 150, 400}[r.intn(4)]
+	w("    movri ecx, %d", trip)
+	w("rf%d_loop:", f)
+
+	n := 3 + r.intn(18)
+	regs := []string{"eax", "esi", "edi"}
+	pick := func() string { return regs[r.intn(len(regs))] }
+	for i := 0; i < n; i++ {
+		switch r.intn(20) {
+		case 0:
+			w("    movri %s, %d", pick(), int32(r.next()))
+		case 1:
+			w("    addrr %s, %s", pick(), pick())
+		case 2:
+			w("    subri %s, %d", pick(), int32(r.next()&0xFFFFF))
+		case 3:
+			w("    imulri %s, %d", pick(), int32(r.next()&0xFF))
+		case 4:
+			w("    xorrr ebx, %s", pick())
+		case 5:
+			w("    shlri %s, %d", pick(), r.intn(31))
+		case 6:
+			w("    shrrr %s, %s", pick(), pick())
+		case 7:
+			w("    sarri %s, %d", pick(), r.intn(31))
+		case 8:
+			// Memory traffic on the shared slab.
+			w("    movrr esi, ecx")
+			w("    andri esi, 127")
+			w("    storex [ebp+esi<<2+%d], %s", 256*r.intn(4), pick())
+		case 9:
+			w("    movrr esi, ecx")
+			w("    andri esi, 127")
+			w("    loadx %s, [ebp+esi<<2+%d]", pick(), 256*r.intn(4))
+		case 10:
+			w("    push %s", pick())
+			w("    pop %s", pick())
+		case 11:
+			// Flag consumers on random flag state.
+			w("    cmprr %s, %s", pick(), pick())
+			w("    jle rf%d_s%d", f, i)
+			w("    addri ebx, %d", r.intn(1000))
+			w("rf%d_s%d:", f, i)
+		case 12:
+			w("    testrr %s, %s", pick(), pick())
+			w("    je rf%d_t%d", f, i)
+			w("    xorri ebx, %d", int32(r.next()&0xFFFF))
+			w("rf%d_t%d:", f, i)
+		case 13:
+			w("    adcrr %s, %s", pick(), pick())
+		case 14:
+			w("    sbbrr %s, %s", pick(), pick())
+		case 15:
+			w("    movrr eax, %s", pick())
+			w("    idiv edi")
+		case 16:
+			// FP segment.
+			w("    cvtif f0, %s", pick())
+			w("    fldi f1, %.4f", 0.5+r.f64()*3)
+			switch r.intn(5) {
+			case 0:
+				w("    fadd f0, f1")
+			case 1:
+				w("    fmul f0, f1")
+			case 2:
+				w("    fsin f2, f1")
+				w("    fadd f0, f2")
+			case 3:
+				w("    fcos f2, f0")
+				w("    fadd f0, f2")
+			case 4:
+				w("    fabs f2, f0")
+				w("    fsqrt f3, f2")
+				w("    fadd f0, f3")
+			}
+			w("    fcmp f0, f1")
+			w("    jae rf%d_f%d", f, i)
+			w("    fst [ebp+%d], f0", 2048+8*r.intn(16))
+			w("rf%d_f%d:", f, i)
+			w("    cvtfi esi, f0")
+			w("    xorrr ebx, esi")
+		case 17:
+			// String op through the interpreter safety net.
+			w("    push ecx")
+			w("    movri esi, %d", dataAt)
+			w("    movri edi, %d", dataAt+4096)
+			w("    movri ecx, %d", 4+r.intn(28))
+			if r.intn(2) == 0 {
+				w("    movs")
+			} else {
+				w("    stos")
+			}
+			w("    pop ecx")
+		case 18:
+			w("    neg %s", pick())
+		case 19:
+			w("    inc %s", pick())
+			w("    dec %s", pick())
+		}
+	}
+	w("    dec ecx")
+	w("    cmpri ecx, 0")
+	w("    jg rf%d_loop", f)
+	w("    pop edx")
+	w("    pop ecx")
+	w("    ret")
+}

@@ -1,0 +1,131 @@
+package workload
+
+// The paper's benchmark roster: 11 SPECINT2006, 13 SPECFP2006 and 7
+// Physicsbench applications. Per-benchmark parameters follow the traits
+// the paper attributes to each suite:
+//
+//   - SPECINT: small basic blocks, branch-heavy, very high dynamic-to-
+//     static ratio (TOL overhead amortises to ~16%), some indirect
+//     control flow and string traffic.
+//   - SPECFP: large basic blocks, FP-dominated, the highest dyn/static
+//     ratio (~13% overhead, 96% SBM coverage, lowest emulation cost).
+//   - Physicsbench: much lower dynamic instruction count and dyn/static
+//     ratio (overhead not amortised: ~41%), trigonometric functions
+//     emulated in software (raising emulation cost), with `continuous`,
+//     `periodic` and `ragdoll` so short that little code is promoted to
+//     SBM (large BBM share in Fig. 4).
+
+// Suite names.
+const (
+	SuiteINT     = "SPECINT2006"
+	SuiteFP      = "SPECFP2006"
+	SuitePhysics = "Physicsbench"
+)
+
+func intProfile(name string, seed uint64, funcs, bbSize, inner, outer int) Profile {
+	return Profile{
+		Name: name, Suite: SuiteINT,
+		Funcs: funcs, BBSize: bbSize, SegsPerBB: 5,
+		InnerTrip: inner, OuterIters: outer,
+		FPFrac: 0.02, TrigFrac: 0,
+		RareBits: 4, Unbiased: false,
+		Seed: seed,
+	}
+}
+
+func fpProfile(name string, seed uint64, funcs, bbSize, inner, outer int) Profile {
+	return Profile{
+		Name: name, Suite: SuiteFP,
+		Funcs: funcs, BBSize: bbSize, SegsPerBB: 2,
+		InnerTrip: inner, OuterIters: outer,
+		FPFrac: 0.7, TrigFrac: 0.02,
+		RareBits: 5,
+		Seed:     seed,
+	}
+}
+
+func physProfile(name string, seed uint64, funcs, inner, outer int, trig float64) Profile {
+	return Profile{
+		Name: name, Suite: SuitePhysics,
+		Funcs: funcs, BBSize: 8, SegsPerBB: 2,
+		InnerTrip: inner, OuterIters: outer,
+		FPFrac: 0.55, TrigFrac: trig,
+		RareBits: 4,
+		Seed:     seed,
+	}
+}
+
+// Suites returns the full 31-benchmark roster in the paper's order.
+func Suites() []Profile {
+	list := []Profile{
+		// SPECINT2006 — branchy integer codes.
+		intProfile("400.perlbench", 400, 14, 4, 40, 160),
+		intProfile("401.bzip2", 401, 8, 5, 64, 220),
+		intProfile("403.gcc", 403, 20, 4, 32, 120),
+		intProfile("429.mcf", 429, 6, 4, 80, 260),
+		intProfile("445.gobmk", 445, 16, 4, 36, 130),
+		intProfile("458.sjeng", 458, 12, 4, 48, 170),
+		intProfile("462.libquantum", 462, 5, 6, 96, 320),
+		intProfile("464.h264ref", 464, 10, 7, 56, 200),
+		intProfile("471.omnetpp", 471, 14, 4, 40, 140),
+		intProfile("473.astar", 473, 7, 5, 72, 240),
+		intProfile("483.xalancbmk", 483, 18, 4, 32, 130),
+
+		// SPECFP2006 — large-block floating point codes.
+		fpProfile("410.bwaves", 410, 6, 22, 90, 200),
+		fpProfile("433.milc", 433, 7, 18, 80, 190),
+		fpProfile("434.zeusmp", 434, 8, 20, 76, 180),
+		fpProfile("435.gromacs", 435, 8, 16, 70, 170),
+		fpProfile("436.cactusADM", 436, 6, 24, 90, 210),
+		fpProfile("437.leslie3d", 437, 7, 21, 84, 190),
+		fpProfile("444.namd", 444, 8, 18, 80, 190),
+		fpProfile("450.soplex", 450, 10, 14, 60, 150),
+		fpProfile("453.povray", 453, 12, 13, 56, 140),
+		fpProfile("454.calculix", 454, 9, 17, 70, 170),
+		fpProfile("459.GemsFDTD", 459, 7, 22, 86, 200),
+		fpProfile("470.lbm", 470, 5, 26, 100, 240),
+		fpProfile("482.sphinx3", 482, 9, 16, 66, 160),
+
+		// Physicsbench — short runs, software trig, low dyn/static.
+		physProfile("breakable", 901, 36, 28, 80, 0.17),
+		physProfile("continuous", 902, 48, 10, 55, 0.26),
+		physProfile("deformable", 903, 34, 28, 80, 0.15),
+		physProfile("explosions", 904, 30, 30, 80, 0.19),
+		physProfile("highspeed", 905, 32, 28, 78, 0.17),
+		physProfile("periodic", 906, 44, 9, 60, 0.26),
+		physProfile("ragdoll", 907, 46, 10, 52, 0.24),
+	}
+	// Suite-specific extras.
+	for i := range list {
+		switch list[i].Name {
+		case "400.perlbench", "403.gcc", "458.sjeng", "471.omnetpp", "483.xalancbmk":
+			list[i].Indirect = true
+		case "401.bzip2", "464.h264ref":
+			list[i].Strings = true
+		case "445.gobmk", "473.astar":
+			list[i].Unbiased = true
+		}
+	}
+	return list
+}
+
+// ByName finds a profile.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Suites() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// SuiteOf returns the profiles of one suite.
+func SuiteOf(suite string) []Profile {
+	var out []Profile
+	for _, p := range Suites() {
+		if p.Suite == suite {
+			out = append(out, p)
+		}
+	}
+	return out
+}

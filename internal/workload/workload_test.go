@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"darco/internal/guest"
+	"darco/internal/guestvm"
+)
+
+func TestSuiteRoster(t *testing.T) {
+	ps := Suites()
+	if len(ps) != 31 {
+		t.Fatalf("roster has %d benchmarks, want 31", len(ps))
+	}
+	counts := map[string]int{}
+	for _, p := range ps {
+		counts[p.Suite]++
+	}
+	if counts[SuiteINT] != 11 || counts[SuiteFP] != 13 || counts[SuitePhysics] != 7 {
+		t.Errorf("suite sizes: %v", counts)
+	}
+}
+
+func TestAllProfilesAssemble(t *testing.T) {
+	for _, p := range Suites() {
+		if _, err := p.Scale(0.02).Generate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	p, _ := ByName("429.mcf")
+	a := p.Source()
+	b := p.Source()
+	if a != b {
+		t.Fatalf("generation not deterministic")
+	}
+}
+
+func TestProgramsTerminateAndWriteChecksum(t *testing.T) {
+	for _, name := range []string{"429.mcf", "470.lbm", "ragdoll", "401.bzip2", "400.perlbench"} {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		im, err := p.Scale(0.02).Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, err := guestvm.New(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reason, err := vm.Run(guestvm.RunLimits{InsnCount: 50_000_000})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if reason != guestvm.StopHalt {
+			t.Fatalf("%s did not terminate: %v", name, reason)
+		}
+		if len(vm.Env.Output) != 4 {
+			t.Errorf("%s wrote %d bytes", name, len(vm.Env.Output))
+		}
+		if !vm.Env.Exited || vm.Env.ExitCode != 0 {
+			t.Errorf("%s exit %v/%d", name, vm.Env.Exited, vm.Env.ExitCode)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	p, _ := ByName("429.mcf")
+	half := p.Scale(0.5)
+	if half.OuterIters != p.OuterIters/2 {
+		t.Errorf("scale 0.5: %d vs %d", half.OuterIters, p.OuterIters)
+	}
+	tiny := p.Scale(0.0001)
+	if tiny.OuterIters < 1 {
+		t.Errorf("scale floor violated")
+	}
+}
+
+func TestSuiteCharacteristics(t *testing.T) {
+	intBB, fpBB := 0.0, 0.0
+	for _, p := range SuiteOf(SuiteINT) {
+		intBB += float64(p.BBSize)
+	}
+	intBB /= float64(len(SuiteOf(SuiteINT)))
+	for _, p := range SuiteOf(SuiteFP) {
+		fpBB += float64(p.BBSize)
+	}
+	fpBB /= float64(len(SuiteOf(SuiteFP)))
+	if intBB >= fpBB {
+		t.Errorf("SPECINT blocks (%.1f) must be smaller than SPECFP (%.1f)", intBB, fpBB)
+	}
+	for _, p := range SuiteOf(SuitePhysics) {
+		if p.TrigFrac == 0 {
+			t.Errorf("%s: physics benchmarks use trig", p.Name)
+		}
+	}
+	for _, p := range SuiteOf(SuiteINT) {
+		if p.FPFrac > 0.1 {
+			t.Errorf("%s: integer benchmark with %.0f%% FP", p.Name, 100*p.FPFrac)
+		}
+	}
+}
+
+func TestDynStaticRatioOrdering(t *testing.T) {
+	// Physicsbench dynamic/static ratio must be well below SPEC's: that
+	// is what drives the paper's Fig. 6 overhead gap.
+	ratio := func(p Profile) float64 {
+		im, err := p.Scale(0.1).Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, _ := guestvm.New(im)
+		if _, err := vm.Run(guestvm.RunLimits{InsnCount: 10_000_000}); err != nil {
+			t.Fatal(err)
+		}
+		static := 0
+		for _, s := range im.Segments {
+			static += len(s.Data)
+		}
+		return float64(vm.InsnCount) / float64(static)
+	}
+	mcf, _ := ByName("429.mcf")
+	rag, _ := ByName("ragdoll")
+	if ratio(mcf) <= 2*ratio(rag) {
+		t.Errorf("dyn/static: mcf %.1f should far exceed ragdoll %.1f", ratio(mcf), ratio(rag))
+	}
+}
+
+func TestRandomProgramsAssembleAndTerminate(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		im, err := RandomProgram(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		vm, err := guestvm.New(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reason, err := vm.Run(guestvm.RunLimits{InsnCount: 20_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if reason != guestvm.StopHalt {
+			t.Fatalf("seed %d did not halt (%v after %d insns)", seed, reason, vm.InsnCount)
+		}
+	}
+}
+
+func TestRandomProgramDeterministic(t *testing.T) {
+	if RandomProgramSource(5) != RandomProgramSource(5) {
+		t.Fatalf("random program generation not deterministic")
+	}
+	if RandomProgramSource(5) == RandomProgramSource(6) {
+		t.Fatalf("seeds should differ")
+	}
+}
+
+func TestIndirectProfileUsesCallr(t *testing.T) {
+	p, _ := ByName("403.gcc")
+	if !p.Indirect {
+		t.Skip("gcc not indirect?")
+	}
+	if !strings.Contains(p.Source(), "callr eax") {
+		t.Errorf("indirect profile emits no callr")
+	}
+	_ = guest.CALLr
+}

@@ -1,0 +1,195 @@
+package darco
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"darco/internal/controller"
+	"darco/internal/guest"
+	"darco/internal/power"
+	"darco/internal/timing"
+	"darco/internal/tol"
+)
+
+// Config configures one DARCO run. The timing and power simulators are
+// optional and do not affect functionality (paper §V).
+type Config struct {
+	TOL tol.Config
+
+	// Timing, when non-nil, attaches the in-order timing simulator to
+	// the co-designed component's retired host instruction stream.
+	Timing *timing.Config
+
+	// Power, when non-nil (and Timing enabled), attaches the
+	// event-energy power model at the given core frequency.
+	Power   *power.Energies
+	FreqMHz float64
+
+	// ValidateEveryNSyncs compares co-designed vs authoritative state
+	// at every Nth synchronization in addition to the end of the
+	// application (0 disables periodic validation).
+	ValidateEveryNSyncs int
+
+	// MaxGuestInsns aborts runaway programs (0 = unlimited).
+	MaxGuestInsns uint64
+}
+
+// DefaultConfig is a functional-only run with paper-default TOL
+// parameters and per-syscall validation.
+func DefaultConfig() Config {
+	return Config{TOL: tol.DefaultConfig(), ValidateEveryNSyncs: 1}
+}
+
+// TimingConfig returns a config with the timing simulator attached.
+func TimingConfig() Config {
+	c := DefaultConfig()
+	tc := timing.DefaultConfig()
+	c.Timing = &tc
+	return c
+}
+
+// FullConfig enables timing and power.
+func FullConfig() Config {
+	c := TimingConfig()
+	e := power.DefaultEnergies()
+	c.Power = &e
+	c.FreqMHz = 1000
+	return c
+}
+
+// Result reports everything a run produced.
+type Result struct {
+	Stats    tol.Stats
+	Overhead tol.Overhead
+
+	HostAppInsns uint64 // host instructions emulating the application
+	HostInsns    uint64 // including TOL overhead
+
+	Output   []byte // guest program output (write syscalls)
+	ExitCode int32
+
+	Wall time.Duration
+
+	// GuestMIPS/HostMIPS are emulation speeds (millions of guest/host
+	// instructions per wall second), the paper's Table of §VI-A.
+	GuestMIPS float64
+	HostMIPS  float64
+
+	Timing *timing.Stats
+	Core   *timing.Core // full simulator state for detailed inspection
+	Power  *power.Report
+
+	Validations   uint64
+	PageTransfers uint64
+	SyscallSyncs  uint64
+}
+
+// Run executes the guest image on the full DARCO stack.
+func Run(im *guest.Image, cfg Config) (*Result, error) {
+	ctlCfg := controller.Config{
+		TOL:                 cfg.TOL,
+		ValidateEveryNSyncs: cfg.ValidateEveryNSyncs,
+		MaxGuestInsns:       cfg.MaxGuestInsns,
+	}
+	ctl, err := controller.New(im, ctlCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var core *timing.Core
+	if cfg.Timing != nil {
+		core = timing.New(*cfg.Timing)
+		ctl.CoD.VM.Retire = core.Consume
+	}
+
+	start := time.Now()
+	if err := ctl.Run(0); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+
+	res := &Result{
+		Stats:         ctl.CoD.Stats,
+		Overhead:      ctl.CoD.Overhead,
+		HostAppInsns:  ctl.CoD.VM.AppInsns,
+		Output:        append([]byte(nil), ctl.Output()...),
+		ExitCode:      ctl.X86.Env.ExitCode,
+		Wall:          wall,
+		Validations:   ctl.Validations,
+		PageTransfers: ctl.PageTransfers,
+		SyscallSyncs:  ctl.SyscallSyncs,
+	}
+	res.HostInsns = res.HostAppInsns + res.Overhead.Total()
+	secs := wall.Seconds()
+	if secs > 0 {
+		res.GuestMIPS = float64(res.Stats.GuestInsns()) / secs / 1e6
+		res.HostMIPS = float64(res.HostInsns) / secs / 1e6
+	}
+
+	if core != nil {
+		core.AddTOL(res.Overhead.Total())
+		st := core.Stats
+		res.Timing = &st
+		res.Core = core
+		if cfg.Power != nil {
+			m := power.New(*cfg.Power, cfg.FreqMHz)
+			res.Power = m.Analyze(core)
+		}
+	}
+	return res, nil
+}
+
+// EmulationCostSBM reports host instructions per guest instruction in
+// superblock mode (the paper's Fig. 5 metric).
+func (r *Result) EmulationCostSBM() float64 {
+	if r.Stats.GuestInsnsSBM == 0 {
+		return 0
+	}
+	return float64(r.Stats.HostInsnsSBM) / float64(r.Stats.GuestInsnsSBM)
+}
+
+// TOLOverheadFrac reports the TOL share of the host dynamic instruction
+// stream (Fig. 6).
+func (r *Result) TOLOverheadFrac() float64 {
+	total := r.HostAppInsns + r.Overhead.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Overhead.Total()) / float64(total)
+}
+
+// ModeShares reports the dynamic guest instruction split across IM, BBM
+// and SBM (Fig. 4).
+func (r *Result) ModeShares() (im, bbm, sbm float64) {
+	total := float64(r.Stats.GuestInsns())
+	if total == 0 {
+		return
+	}
+	return float64(r.Stats.GuestInsnsIM) / total,
+		float64(r.Stats.GuestInsnsBBM) / total,
+		float64(r.Stats.GuestInsnsSBM) / total
+}
+
+// Summary renders a human-readable run report.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	im, bbm, sbm := r.ModeShares()
+	fmt.Fprintf(&b, "guest insns   %d (IM %.1f%%, BBM %.1f%%, SBM %.1f%%)\n",
+		r.Stats.GuestInsns(), 100*im, 100*bbm, 100*sbm)
+	fmt.Fprintf(&b, "host insns    %d app + %d TOL (overhead %.1f%%)\n",
+		r.HostAppInsns, r.Overhead.Total(), 100*r.TOLOverheadFrac())
+	fmt.Fprintf(&b, "emulation     %.2f host/guest in SBM\n", r.EmulationCostSBM())
+	fmt.Fprintf(&b, "translations  %d BB, %d SB (%d unrolled, %d/%d rebuilds)\n",
+		r.Stats.BBTranslations, r.Stats.SBTranslations, r.Stats.UnrolledLoops,
+		r.Stats.AssertRebuilds, r.Stats.SpecRebuilds)
+	fmt.Fprintf(&b, "speed         %.2f guest MIPS, %.2f host MIPS\n", r.GuestMIPS, r.HostMIPS)
+	if r.Timing != nil {
+		fmt.Fprintf(&b, "timing        %d cycles, IPC %.3f, bpred %.2f%%, L1D miss %.2f%%\n",
+			r.Timing.Cycles, r.Timing.IPC(), 100*r.Core.BP.Accuracy(), 100*r.Core.L1D.MissRate())
+	}
+	if r.Power != nil {
+		fmt.Fprintf(&b, "power         %s\n", r.Power)
+	}
+	return b.String()
+}
