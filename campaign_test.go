@@ -1,0 +1,187 @@
+package darco_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	darco "darco"
+	"darco/internal/workload"
+)
+
+func TestSuiteScenariosCoverRoster(t *testing.T) {
+	scs := darco.SuiteScenarios(0.5)
+	suites := workload.Suites()
+	if len(scs) != len(suites) {
+		t.Fatalf("%d scenarios for %d profiles", len(scs), len(suites))
+	}
+	for i, sc := range scs {
+		if sc.Name != suites[i].Name || sc.Scale != 0.5 {
+			t.Errorf("scenario %d: %q scale %v", i, sc.Name, sc.Scale)
+		}
+	}
+}
+
+// TestCampaignParallelMatchesSerial is the determinism acceptance test:
+// the full workload roster executed on a parallel worker pool must
+// produce per-scenario statistics identical to a serial execution.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	eng, err := darco.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	scs := darco.SuiteScenarios(0.03)
+
+	serial, err := eng.RunCampaign(ctx, scs, darco.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := eng.RunCampaign(ctx, scs, darco.WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Parallelism != 1 || parallel.Parallelism != 8 {
+		t.Fatalf("pool widths %d / %d", serial.Parallelism, parallel.Parallelism)
+	}
+	if len(serial.Results) != len(scs) || len(parallel.Results) != len(scs) {
+		t.Fatalf("result counts %d / %d", len(serial.Results), len(parallel.Results))
+	}
+	for i := range scs {
+		s, p := &serial.Results[i], &parallel.Results[i]
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("%s: serial err %v, parallel err %v", scs[i].Name, s.Err, p.Err)
+		}
+		if s.Scenario.Name != p.Scenario.Name {
+			t.Fatalf("result order diverged at %d: %q vs %q", i, s.Scenario.Name, p.Scenario.Name)
+		}
+		if s.Result.Stats != p.Result.Stats {
+			t.Errorf("%s: stats differ between serial and parallel execution:\n%+v\n%+v",
+				scs[i].Name, s.Result.Stats, p.Result.Stats)
+		}
+		if string(s.Result.Output) != string(p.Result.Output) {
+			t.Errorf("%s: outputs differ between serial and parallel execution", scs[i].Name)
+		}
+	}
+}
+
+func TestCampaignFailFast(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	mk := func(name string, opts ...darco.Option) darco.Scenario {
+		return darco.Scenario{Name: name, Profile: p, Scale: 0.05, Options: opts}
+	}
+	eng, err := darco.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := []darco.Scenario{
+		mk("doomed", darco.WithMaxGuestInsns(1000)), // aborts almost immediately
+		mk("second"),
+		mk("third"),
+	}
+	rep, err := eng.RunCampaign(context.Background(), scs,
+		darco.WithParallelism(1), darco.WithFailFast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].Err == nil {
+		t.Fatal("doomed scenario did not fail")
+	}
+	if !strings.Contains(rep.Results[0].Err.Error(), "doomed") {
+		t.Errorf("error not labelled with scenario name: %v", rep.Results[0].Err)
+	}
+	if rep.Results[2].Err == nil || !errors.Is(rep.Results[2].Err, context.Canceled) {
+		t.Errorf("fail-fast did not cancel pending scenarios: %v", rep.Results[2].Err)
+	}
+	if rep.Err() == nil {
+		t.Error("report hides the failures")
+	}
+	if len(rep.Failed()) < 2 {
+		t.Errorf("failed count %d", len(rep.Failed()))
+	}
+}
+
+func TestCampaignCollectErrorsPolicy(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	eng, err := darco.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := []darco.Scenario{
+		{Name: "doomed", Profile: p, Scale: 0.05, Options: []darco.Option{darco.WithMaxGuestInsns(1000)}},
+		{Name: "fine", Profile: p, Scale: 0.05},
+	}
+	rep, err := eng.RunCampaign(context.Background(), scs, darco.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].Err == nil {
+		t.Error("doomed scenario did not fail")
+	}
+	if rep.Results[1].Err != nil {
+		t.Errorf("collect-errors policy cancelled a healthy scenario: %v", rep.Results[1].Err)
+	}
+	if rep.Results[1].Result == nil || rep.Results[1].Result.Stats.GuestInsns() == 0 {
+		t.Error("healthy scenario produced no result")
+	}
+	if rep.Results[1].Wall <= 0 {
+		t.Error("scenario wall time not recorded")
+	}
+	if rep.SerialWall() <= 0 {
+		t.Error("serial-equivalent wall empty")
+	}
+}
+
+func TestCampaignScenarioTimeout(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	eng, err := darco.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := []darco.Scenario{{Name: "slow", Profile: p, Scale: 2}}
+	rep, err := eng.RunCampaign(context.Background(), scs,
+		darco.WithScenarioTimeout(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rep.Results[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", rep.Results[0].Err)
+	}
+}
+
+func TestCampaignParentCancellation(t *testing.T) {
+	eng, err := darco.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := eng.RunCampaign(ctx, darco.SuiteScenarios(0.05), darco.WithParallelism(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if rep == nil || len(rep.Results) != len(workload.Suites()) {
+		t.Fatal("report missing after parent cancellation")
+	}
+}
+
+func TestCampaignReportFormat(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	eng, err := darco.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.RunCampaign(context.Background(),
+		[]darco.Scenario{{Name: "429.mcf", Profile: p, Scale: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Format()
+	for _, want := range []string{"scenario", "429.mcf", "workers", "0 failed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

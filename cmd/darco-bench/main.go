@@ -1,18 +1,23 @@
 // Command darco-bench regenerates the paper's evaluation (§VI): the
 // emulation/simulation speed table, Figs. 4–7, and the warm-up case
-// study. Each experiment prints the same rows/series the paper reports.
+// study. The 31-benchmark roster runs as a parallel campaign on a
+// bounded worker pool; each experiment prints the same rows/series the
+// paper reports, and -report prints the campaign's per-scenario timing.
 //
 // Usage:
 //
 //	darco-bench -exp all
-//	darco-bench -exp fig4 -scale 1.0
+//	darco-bench -exp fig4 -scale 1.0 -par 8
 //	darco-bench -exp warmup -bench 429.mcf
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	darco "darco"
 	"darco/internal/experiments"
@@ -22,11 +27,17 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: speed|fig4|fig5|fig6|fig7|warmup|startup|all")
-		scale     = flag.Float64("scale", 1.0, "workload scale factor")
-		benchName = flag.String("bench", "429.mcf", "benchmark for speed/warmup experiments")
+		exp        = flag.String("exp", "all", "experiment: speed|fig4|fig5|fig6|fig7|warmup|startup|all")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor")
+		benchName  = flag.String("bench", "429.mcf", "benchmark for speed/warmup experiments")
+		par        = flag.Int("par", 0, "campaign worker-pool width (0 = GOMAXPROCS)")
+		scenarioTO = flag.Duration("scenario-timeout", 0, "per-benchmark timeout (0 = none)")
+		report     = flag.Bool("report", false, "print the campaign report (per-benchmark wall times)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	needSuites := false
 	switch *exp {
@@ -37,8 +48,20 @@ func main() {
 	var rs []experiments.BenchResult
 	if needSuites {
 		fmt.Fprintf(os.Stderr, "running %d benchmarks at scale %.2f...\n", len(workload.Suites()), *scale)
-		var err error
-		rs, err = experiments.RunSuites(*scale, darco.DefaultConfig())
+		copts := []darco.CampaignOption{darco.WithParallelism(*par)}
+		if *scenarioTO > 0 {
+			copts = append(copts, darco.WithScenarioTimeout(*scenarioTO))
+		}
+		rep, err := experiments.SuiteCampaign(ctx, *scale, darco.DefaultConfig(), copts...)
+		if err != nil {
+			fatalf("suites: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "campaign: %s wall on %d workers (%s serial-equivalent)\n",
+			rep.Wall.Round(time.Millisecond), rep.Parallelism, rep.SerialWall().Round(time.Millisecond))
+		if *report {
+			fmt.Print(rep.Format(), "\n")
+		}
+		rs, err = experiments.BenchResults(rep)
 		if err != nil {
 			fatalf("suites: %v", err)
 		}
@@ -51,7 +74,7 @@ func main() {
 		if !ok {
 			fatalf("unknown workload %q", *benchName)
 		}
-		rows, err := experiments.TableSpeed(p, *scale)
+		rows, err := experiments.TableSpeed(ctx, p, *scale)
 		if err != nil {
 			fatalf("speed: %v", err)
 		}
@@ -79,7 +102,7 @@ func main() {
 		if !ok {
 			fatalf("unknown workload %q", *benchName)
 		}
-		rows, err := experiments.StartupDelay(p, 100_000, *scale)
+		rows, err := experiments.StartupDelay(ctx, p, 100_000, *scale)
 		if err != nil {
 			fatalf("startup: %v", err)
 		}
@@ -99,7 +122,7 @@ func main() {
 		if err != nil {
 			fatalf("warmup: %v", err)
 		}
-		st, err := warmup.RunStudy(im, warmup.DefaultConfig())
+		st, err := warmup.RunStudyContext(ctx, im, warmup.DefaultConfig())
 		if err != nil {
 			fatalf("warmup: %v", err)
 		}

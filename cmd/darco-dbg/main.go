@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"darco/internal/controller"
 	"darco/internal/debug"
@@ -58,7 +60,9 @@ func main() {
 		}
 	}
 
-	rep, err := debug.Locate(im, cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := debug.LocateContext(ctx, im, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "darco-dbg: %v\n", err)
 		os.Exit(1)

@@ -1,23 +1,32 @@
 // Command darco runs a guest program (a named benchmark or a GISA
 // assembly file) on the full co-designed processor stack: TOL
 // translation/optimization, state validation against the authoritative
-// emulator, and optionally the timing and power simulators.
+// emulator, and optionally the timing and power simulators. Ctrl-C (or
+// -timeout) cancels the run cleanly.
 //
 // Usage:
 //
 //	darco -bench 429.mcf                      # named workload, functional
 //	darco -bench 470.lbm -timing -power       # with simulators
 //	darco -asm prog.s -timing                 # assemble and run a file
+//	darco -bench 403.gcc -progress            # stream progress snapshots
 //	darco -list                               # list available workloads
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	darco "darco"
 	"darco/internal/guest"
+	"darco/internal/power"
+	"darco/internal/timing"
+	"darco/internal/tol"
 	"darco/internal/workload"
 )
 
@@ -31,6 +40,8 @@ func main() {
 		validate  = flag.Int("validate", 1, "validate state every N synchronizations (0 = end only)")
 		bbThresh  = flag.Uint("bb-threshold", 0, "override BBM promotion threshold")
 		sbThresh  = flag.Uint64("sb-threshold", 0, "override SBM promotion threshold")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		progress  = flag.Bool("progress", false, "stream progress snapshots to stderr")
 		list      = flag.Bool("list", false, "list available workloads and exit")
 		showOut   = flag.Bool("output", false, "print the guest program's output bytes")
 	)
@@ -65,22 +76,59 @@ func main() {
 		fatalf("build program: %v", err)
 	}
 
-	cfg := darco.DefaultConfig()
-	if *usePower {
-		cfg = darco.FullConfig()
-	} else if *useTiming {
-		cfg = darco.TimingConfig()
-	}
-	cfg.ValidateEveryNSyncs = *validate
+	tolCfg := tol.DefaultConfig()
 	if *bbThresh > 0 {
-		cfg.TOL.BBThreshold = uint32(*bbThresh)
+		tolCfg.BBThreshold = uint32(*bbThresh)
 	}
 	if *sbThresh > 0 {
-		cfg.TOL.SBThreshold = *sbThresh
+		tolCfg.SBThreshold = *sbThresh
+	}
+	opts := []darco.Option{
+		darco.WithTOL(tolCfg),
+		darco.WithValidation(*validate),
+	}
+	if *useTiming || *usePower {
+		opts = append(opts, darco.WithTiming(timing.DefaultConfig()))
+	}
+	if *usePower {
+		opts = append(opts, darco.WithPower(power.DefaultEnergies(), 1000))
+	}
+	if *progress {
+		opts = append(opts,
+			darco.WithCheckInterval(1_000_000),
+			darco.WithObserver(darco.ObserverFuncs{
+				Progress: func(p darco.Progress) {
+					fmt.Fprintf(os.Stderr, "progress: %d guest insns, %d+%d translations, %d syncs, %s\n",
+						p.GuestInsns, p.BBTranslations, p.SBTranslations, p.SyscallSyncs,
+						p.Wall.Round(time.Millisecond))
+				},
+			}))
 	}
 
-	res, err := darco.Run(im, cfg)
+	eng, err := darco.NewEngine(opts...)
 	if err != nil {
+		fatalf("configure: %v", err)
+	}
+	ses, err := eng.NewSession(im)
+	if err != nil {
+		fatalf("launch: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := ses.Run(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "darco: run cancelled (%v); partial results:\n", err)
+			fmt.Print(ses.Snapshot().Summary())
+			os.Exit(130)
+		}
 		fatalf("run: %v", err)
 	}
 	fmt.Print(res.Summary())

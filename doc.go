@@ -25,10 +25,38 @@
 //     (internal/workload) and the warm-up simulation methodology of the
 //     paper's case study (internal/warmup).
 //
-// This package is the public facade: build or pick a workload, configure
-// the system, and Run it.
+// This package is the public facade, designed around three layers:
 //
-//	im, _ := workload.MustProfile("429.mcf").Generate()
-//	res, err := darco.Run(im, darco.DefaultConfig())
+//   - Engine: immutable configuration built from functional options.
+//   - Session: one guest program executing on an engine — run it to
+//     completion with Run(ctx), advance it incrementally with Step,
+//     snapshot it at any time, cancel it through the context, and
+//     stream translation/synchronization/progress events to an
+//     Observer.
+//   - Campaign: a set of named scenarios (workload profile × config
+//     variant) executed across a bounded worker pool with per-scenario
+//     timeouts and a fail-fast or collect-errors policy, aggregated
+//     into a CampaignReport. Scenario execution is deterministic:
+//     per-scenario statistics are identical at any parallelism.
+//
+// Run one workload:
+//
+//	p, _ := workload.ByName("429.mcf")
+//	im, _ := p.Generate()
+//	eng, _ := darco.NewEngine(
+//		darco.WithTiming(timing.DefaultConfig()),
+//		darco.WithPower(power.DefaultEnergies(), 1000),
+//	)
+//	ses, _ := eng.NewSession(im)
+//	res, err := ses.Run(ctx)
 //	fmt.Println(res.Summary())
+//
+// Regenerate the paper's whole evaluation concurrently:
+//
+//	rep, _ := eng.RunCampaign(ctx, darco.SuiteScenarios(1.0),
+//		darco.WithParallelism(8), darco.WithFailFast())
+//	fmt.Println(rep.Format())
+//
+// The one-shot darco.Run(im, cfg) facade is deprecated; it remains as a
+// thin wrapper over an Engine/Session pair.
 package darco

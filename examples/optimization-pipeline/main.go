@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,8 +47,11 @@ func main() {
 
 	// Run the program far enough that the loop reaches superblock mode,
 	// then pull the hot region out of the code cache for inspection.
-	cfg := darco.DefaultConfig()
-	res, err := darco.Run(im, cfg)
+	eng, err := darco.NewEngine()
+	if err != nil {
+		log.Fatalf("engine: %v", err)
+	}
+	res, err := eng.Run(context.Background(), im)
 	if err != nil {
 		log.Fatalf("run: %v", err)
 	}

@@ -1,8 +1,11 @@
 // Quickstart: assemble a small guest program, run it on the full
-// co-designed stack, and inspect what the TOL did with it.
+// co-designed stack through the Engine/Session API, and inspect what
+// the TOL did with it — including the stream of translation events the
+// Observer surfaces while the hot loop climbs the optimization modes.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,10 +47,29 @@ func main() {
 	if err != nil {
 		log.Fatalf("assemble: %v", err)
 	}
-	res, err := darco.Run(im, darco.DefaultConfig())
+
+	// The engine is reusable configuration; the observer streams every
+	// translation as the loop is promoted IM -> BBM -> SBM.
+	eng, err := darco.NewEngine(
+		darco.WithObserver(darco.ObserverFuncs{
+			Translation: func(ev darco.TranslationEvent) {
+				fmt.Printf("translated %-10s @%#x (%d guest -> %d host insns)\n",
+					ev.Kind, ev.Entry, ev.GuestInsns, ev.HostInsns)
+			},
+		}),
+	)
+	if err != nil {
+		log.Fatalf("engine: %v", err)
+	}
+	ses, err := eng.NewSession(im)
+	if err != nil {
+		log.Fatalf("session: %v", err)
+	}
+	res, err := ses.Run(context.Background())
 	if err != nil {
 		log.Fatalf("run: %v", err)
 	}
+	fmt.Println()
 
 	sum := uint32(res.Output[0]) | uint32(res.Output[1])<<8 |
 		uint32(res.Output[2])<<16 | uint32(res.Output[3])<<24

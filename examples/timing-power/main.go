@@ -1,14 +1,19 @@
 // Timing and power study: run a floating-point workload on the attached
 // timing simulator and event-energy power model, then sweep the issue
 // width to explore the paper's "wide in-order or narrow out-of-order"
-// design question (§III) from the in-order side.
+// design question (§III) from the in-order side. The sweep runs as a
+// parallel campaign: one scenario per issue width, each deriving its
+// engine from width-specific options.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	darco "darco"
+	"darco/internal/power"
+	"darco/internal/timing"
 	"darco/internal/workload"
 )
 
@@ -21,9 +26,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	fmt.Println("=== 470.lbm on the default 2-wide in-order co-designed core ===")
-	res, err := darco.Run(im, darco.FullConfig())
+	eng, err := darco.NewEngine(
+		darco.WithTiming(timing.DefaultConfig()),
+		darco.WithPower(power.DefaultEnergies(), 1000),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(ctx, im)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,20 +46,36 @@ func main() {
 		fmt.Printf("  %-14s %.4g J\n", comp, res.Power.ByComponent[comp])
 	}
 
-	fmt.Println("\n=== issue-width sweep (wide in-order trade-off) ===")
-	fmt.Printf("%8s%12s%12s%14s%14s\n", "width", "cycles", "IPC", "avg power W", "energy J")
-	for _, width := range []int{1, 2, 4, 8} {
-		cfg := darco.FullConfig()
-		cfg.Timing.FetchWidth = width
-		cfg.Timing.IssueWidth = width
-		cfg.Timing.SimpleUnits = width
-		cfg.Timing.ComplexUnits = (width + 1) / 2
-		cfg.Timing.MemReadPorts = (width + 1) / 2
-		r, err := darco.Run(im, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%8d%12d%12.3f%14.3f%14.4g\n",
-			width, r.Timing.Cycles, r.Timing.IPC(), r.Power.AvgPowerW, r.Power.TotalJ)
+	fmt.Println("\n=== issue-width sweep (wide in-order trade-off), parallel campaign ===")
+	widths := []int{1, 2, 4, 8}
+	var scenarios []darco.Scenario
+	for _, width := range widths {
+		tc := timing.DefaultConfig()
+		tc.FetchWidth = width
+		tc.IssueWidth = width
+		tc.SimpleUnits = width
+		tc.ComplexUnits = (width + 1) / 2
+		tc.MemReadPorts = (width + 1) / 2
+		scenarios = append(scenarios, darco.Scenario{
+			Name:    fmt.Sprintf("470.lbm@%d-wide", width),
+			Profile: p,
+			Scale:   0.4,
+			Options: []darco.Option{darco.WithTiming(tc)},
+		})
 	}
+	rep, err := eng.RunCampaign(ctx, scenarios)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%8s%12s%12s%14s%14s\n", "width", "cycles", "IPC", "avg power W", "energy J")
+	for i, sr := range rep.Results {
+		r := sr.Result
+		fmt.Printf("%8d%12d%12.3f%14.3f%14.4g\n",
+			widths[i], r.Timing.Cycles, r.Timing.IPC(), r.Power.AvgPowerW, r.Power.TotalJ)
+	}
+	fmt.Printf("\nsweep: %s wall on %d workers (%s serial-equivalent)\n",
+		rep.Wall, rep.Parallelism, rep.SerialWall())
 }

@@ -5,8 +5,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"darco/internal/warmup"
 	"darco/internal/workload"
@@ -22,8 +25,11 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The study is long: Ctrl-C cancels it cleanly mid-candidate.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	cfg := warmup.DefaultConfig()
-	st, err := warmup.RunStudy(im, cfg)
+	st, err := warmup.RunStudyContext(ctx, im, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

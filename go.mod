@@ -1,0 +1,3 @@
+module darco
+
+go 1.24

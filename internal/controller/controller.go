@@ -8,6 +8,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,6 +16,40 @@ import (
 	"darco/internal/guestvm"
 	"darco/internal/tol"
 )
+
+// SyncKind classifies the synchronization events the controller
+// mediates between the co-designed and authoritative components.
+type SyncKind uint8
+
+// Synchronization event kinds.
+const (
+	SyncSyscall      SyncKind = iota // syscall executed authoritatively, state forwarded
+	SyncValidation                   // full state comparison passed
+	SyncPageTransfer                 // guest page copied on first co-designed touch
+	SyncFinal                        // end of application, final validation passed
+)
+
+func (k SyncKind) String() string {
+	switch k {
+	case SyncSyscall:
+		return "syscall"
+	case SyncValidation:
+		return "validation"
+	case SyncPageTransfer:
+		return "page-transfer"
+	case SyncFinal:
+		return "final"
+	}
+	return "?"
+}
+
+// SyncEvent describes one synchronization the controller performed.
+type SyncEvent struct {
+	Kind       SyncKind
+	GuestInsns uint64 // dynamic guest instructions retired so far
+	GuestBBs   uint64 // dynamic guest basic blocks retired so far
+	Addr       uint32 // page address (SyncPageTransfer only)
+}
 
 // MismatchError reports a divergence between the co-designed and
 // authoritative states detected during validation.
@@ -36,6 +71,18 @@ type Config struct {
 	ValidateEveryNSyncs int
 	// MaxGuestInsns aborts runaway programs (0 = unlimited).
 	MaxGuestInsns uint64
+
+	// CheckInterval bounds one co-designed excursion to at most N guest
+	// instructions, so RunContext observes cancellation and reports
+	// progress between excursions even when the guest runs long without
+	// a natural synchronization (0 = unbounded excursions).
+	CheckInterval uint64
+
+	// OnSync, when non-nil, observes every synchronization event.
+	OnSync func(SyncEvent)
+	// OnTick, when non-nil, runs after every CheckInterval-bounded
+	// excursion that did not end the run (a progress heartbeat).
+	OnTick func()
 }
 
 // DefaultConfig returns the default controller configuration.
@@ -85,6 +132,19 @@ func NewFrom(x86 *guestvm.VM, cfg Config) *Controller {
 	return &Controller{X86: x86, CoD: cod, Cfg: cfg, bbOffset: x86.BBCount}
 }
 
+// notify reports a synchronization event to the configured observer.
+func (c *Controller) notify(kind SyncKind, addr uint32) {
+	if c.Cfg.OnSync == nil {
+		return
+	}
+	c.Cfg.OnSync(SyncEvent{
+		Kind:       kind,
+		GuestInsns: c.CoD.Stats.GuestInsns(),
+		GuestBBs:   c.CoD.Stats.GuestBBs,
+		Addr:       addr,
+	})
+}
+
 // transferPage services a data request: the x86 component first catches
 // up to the co-designed component's progress point, then the page is
 // copied over.
@@ -98,6 +158,7 @@ func (c *Controller) transferPage(addr uint32) error {
 	}
 	c.CoD.Mem.InstallPage(addr&^uint32(guestvm.PageSize-1), page)
 	c.PageTransfers++
+	c.notify(SyncPageTransfer, addr&^uint32(guestvm.PageSize-1))
 	return nil
 }
 
@@ -169,6 +230,7 @@ func (c *Controller) syncSyscall() error {
 	if c.X86.Halted {
 		c.CoD.SetHalted()
 	}
+	c.notify(SyncSyscall, 0)
 	return nil
 }
 
@@ -232,14 +294,28 @@ func (c *Controller) Validate() error {
 					pageAddr+uint32(off), ap[off], cp[off])}
 		}
 	}
+	c.notify(SyncValidation, 0)
 	return nil
 }
 
 // Run drives the Execution phase to completion (or for up to budget
 // guest instructions when budget > 0), mediating every synchronization.
 func (c *Controller) Run(budget uint64) error {
+	return c.RunContext(context.Background(), budget)
+}
+
+// RunContext is Run with cancellation: the context is checked before
+// every co-designed excursion, and Cfg.CheckInterval bounds how many
+// guest instructions one excursion may retire before control returns
+// here, so cancellation is observed within one interval even when the
+// guest computes without synchronizing. State stays consistent on
+// cancellation: a later RunContext call resumes where this one stopped.
+func (c *Controller) RunContext(ctx context.Context, budget uint64) error {
 	start := c.CoD.Stats.GuestInsns()
 	for !c.CoD.Halted() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if c.Cfg.MaxGuestInsns > 0 && c.CoD.Stats.GuestInsns() > c.Cfg.MaxGuestInsns {
 			return fmt.Errorf("controller: guest instruction limit exceeded")
 		}
@@ -251,13 +327,23 @@ func (c *Controller) Run(budget uint64) error {
 			}
 			step = budget - used
 		}
+		if iv := c.Cfg.CheckInterval; iv > 0 && (step == 0 || step > iv) {
+			step = iv
+		}
 		res, err := c.CoD.Run(step)
 		if err != nil {
 			return err
 		}
 		switch res.Event {
 		case tol.EvBudget:
-			return nil
+			if budget > 0 && c.CoD.Stats.GuestInsns()-start >= budget {
+				return nil
+			}
+			// Interval tick only: report progress, then loop back to the
+			// cancellation check.
+			if c.Cfg.OnTick != nil {
+				c.Cfg.OnTick()
+			}
 		case tol.EvHalt:
 			// End of application: final synchronization and validation.
 			if err := c.catchUp(); err != nil {
@@ -268,7 +354,11 @@ func (c *Controller) Run(budget uint64) error {
 					return err
 				}
 			}
-			return c.Validate()
+			if err := c.Validate(); err != nil {
+				return err
+			}
+			c.notify(SyncFinal, 0)
+			return nil
 		case tol.EvSyscall:
 			if err := c.syncSyscall(); err != nil {
 				return err
@@ -279,6 +369,9 @@ func (c *Controller) Run(budget uint64) error {
 			}
 		}
 	}
+	// Halted through the exit syscall: the syscall synchronization
+	// already validated the final state.
+	c.notify(SyncFinal, 0)
 	return nil
 }
 

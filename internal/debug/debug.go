@@ -9,6 +9,7 @@
 package debug
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -43,6 +44,12 @@ func (r *Report) String() string {
 // replays the suspect region's translation pipeline. It returns nil if
 // the program executes cleanly.
 func Locate(im *guest.Image, cfg controller.Config) (*Report, error) {
+	return LocateContext(context.Background(), im, cfg)
+}
+
+// LocateContext is Locate with cancellation: lockstep runs are slow, so
+// the context is checked at every dispatch.
+func LocateContext(ctx context.Context, im *guest.Image, cfg controller.Config) (*Report, error) {
 	cfg.ValidateEveryNSyncs = 0 // we validate ourselves, every dispatch
 	ctl, err := controller.New(im, cfg)
 	if err != nil {
@@ -56,7 +63,7 @@ func Locate(im *guest.Image, cfg controller.Config) (*Report, error) {
 			preCPU = ctl.CoD.CPU
 			preMem = ctl.CoD.Mem.Clone()
 		}
-		if err := ctl.Run(1); err != nil {
+		if err := ctl.RunContext(ctx, 1); err != nil {
 			if mm, ok := err.(*controller.MismatchError); ok {
 				return buildReport(ctl, mm, preCPU, preMem)
 			}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -24,18 +25,43 @@ type BenchResult struct {
 
 // RunSuites executes every paper benchmark at the given scale on the
 // functional stack (no timing), the configuration used for Figs. 4–7.
+// The benchmarks run as a parallel campaign on a full worker pool;
+// per-scenario statistics are identical to a serial run.
 func RunSuites(scale float64, cfg darco.Config) ([]BenchResult, error) {
-	var out []BenchResult
-	for _, p := range workload.Suites() {
-		im, err := p.Scale(scale).Generate()
-		if err != nil {
-			return nil, err
+	return RunSuitesContext(context.Background(), scale, cfg, 0)
+}
+
+// RunSuitesContext is RunSuites with cancellation and an explicit
+// worker-pool width (parallelism < 1 = GOMAXPROCS).
+func RunSuitesContext(ctx context.Context, scale float64, cfg darco.Config, parallelism int) ([]BenchResult, error) {
+	rep, err := SuiteCampaign(ctx, scale, cfg, darco.WithParallelism(parallelism))
+	if err != nil {
+		return nil, err
+	}
+	return BenchResults(rep)
+}
+
+// SuiteCampaign runs the paper's benchmark roster as a campaign and
+// returns the full report (per-scenario wall times, failures, pool
+// utilisation) for callers that print or aggregate it.
+func SuiteCampaign(ctx context.Context, scale float64, cfg darco.Config, opts ...darco.CampaignOption) (*darco.CampaignReport, error) {
+	eng, err := darco.NewEngine(darco.WithConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return eng.RunCampaign(ctx, darco.SuiteScenarios(scale), opts...)
+}
+
+// BenchResults converts a campaign report into the per-benchmark rows
+// the figure builders consume, failing on the first scenario error.
+func BenchResults(rep *darco.CampaignReport) ([]BenchResult, error) {
+	out := make([]BenchResult, 0, len(rep.Results))
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if r.Err != nil {
+			return nil, r.Err
 		}
-		res, err := darco.Run(im, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
-		}
-		out = append(out, BenchResult{Profile: p, Res: res})
+		out = append(out, BenchResult{Profile: r.Scenario.Profile, Res: r.Result})
 	}
 	return out, nil
 }
@@ -221,24 +247,30 @@ type SpeedRow struct {
 // TableSpeed reproduces the §VI-A emulation/simulation speed table on a
 // representative benchmark: guest and host instruction rates with the
 // timing simulator off and on.
-func TableSpeed(p workload.Profile, scale float64) ([]SpeedRow, error) {
+func TableSpeed(ctx context.Context, p workload.Profile, scale float64) ([]SpeedRow, error) {
 	im, err := p.Scale(scale).Generate()
 	if err != nil {
 		return nil, err
 	}
 	var rows []SpeedRow
-	fun, err := darco.Run(im, darco.DefaultConfig())
-	if err != nil {
-		return nil, err
+	for _, cfg := range []struct {
+		name string
+		cfg  darco.Config
+	}{
+		{"functional emulation", darco.DefaultConfig()},
+		{"with timing simulator", darco.TimingConfig()},
+	} {
+		eng, err := darco.NewEngine(darco.WithConfig(cfg.cfg))
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.Run(ctx, im)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SpeedRow{Config: cfg.name,
+			GuestMIPS: res.GuestMIPS, HostMIPS: res.HostMIPS, Wall: res.Wall})
 	}
-	rows = append(rows, SpeedRow{Config: "functional emulation",
-		GuestMIPS: fun.GuestMIPS, HostMIPS: fun.HostMIPS, Wall: fun.Wall})
-	tim, err := darco.Run(im, darco.TimingConfig())
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, SpeedRow{Config: "with timing simulator",
-		GuestMIPS: tim.GuestMIPS, HostMIPS: tim.HostMIPS, Wall: tim.Wall})
 	return rows, nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -79,7 +80,7 @@ func TestFig7BreakdownSums(t *testing.T) {
 
 func TestTableSpeed(t *testing.T) {
 	p, _ := workload.ByName("429.mcf")
-	rows, err := TableSpeed(p, 0.05)
+	rows, err := TableSpeed(context.Background(), p, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}

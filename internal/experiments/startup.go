@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	darco "darco"
 	"darco/internal/controller"
 	"darco/internal/guest"
@@ -27,7 +29,7 @@ type StartupRow struct {
 
 // StartupDelay measures time-to-first-N-instructions across threshold
 // configurations on one benchmark.
-func StartupDelay(p workload.Profile, window uint64, scale float64) ([]StartupRow, error) {
+func StartupDelay(ctx context.Context, p workload.Profile, window uint64, scale float64) ([]StartupRow, error) {
 	im, err := p.Scale(scale).Generate()
 	if err != nil {
 		return nil, err
@@ -43,7 +45,7 @@ func StartupDelay(p workload.Profile, window uint64, scale float64) ([]StartupRo
 	}
 	var rows []StartupRow
 	for _, c := range configs {
-		row, err := startupOne(im, c.bb, c.sb, window)
+		row, err := startupOne(ctx, im, c.bb, c.sb, window)
 		if err != nil {
 			return nil, err
 		}
@@ -52,7 +54,7 @@ func StartupDelay(p workload.Profile, window uint64, scale float64) ([]StartupRo
 	return rows, nil
 }
 
-func startupOne(im *guest.Image, bb uint32, sb uint64, window uint64) (*StartupRow, error) {
+func startupOne(ctx context.Context, im *guest.Image, bb uint32, sb uint64, window uint64) (*StartupRow, error) {
 	cfg := darco.TimingConfig()
 	cfg.TOL.BBThreshold = bb
 	cfg.TOL.SBThreshold = sb
@@ -60,7 +62,7 @@ func startupOne(im *guest.Image, bb uint32, sb uint64, window uint64) (*StartupR
 	if err != nil {
 		return nil, err
 	}
-	if err := ctl.Run(window); err != nil {
+	if err := ctl.RunContext(ctx, window); err != nil {
 		return nil, err
 	}
 	core.AddTOL(ctl.CoD.Overhead.Total())

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"darco/internal/workload"
@@ -8,7 +9,7 @@ import (
 
 func TestStartupDelay(t *testing.T) {
 	p, _ := workload.ByName("429.mcf")
-	rows, err := StartupDelay(p, 40_000, 1.0)
+	rows, err := StartupDelay(context.Background(), p, 40_000, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}

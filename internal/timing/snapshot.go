@@ -1,0 +1,75 @@
+package timing
+
+import (
+	"slices"
+
+	"darco/internal/host"
+)
+
+// Clone returns a deep copy of the core. The copy shares no mutable
+// state with the receiver, so callers can snapshot the simulator
+// mid-run (e.g. to charge TOL overhead onto a result without touching
+// the live core) and keep consuming instructions on the original.
+func (c *Core) Clone() *Core {
+	n := &Core{}
+	*n = *c
+	n.BP = c.BP.clone()
+	n.L1I = c.L1I.clone()
+	n.L1D = c.L1D.clone()
+	n.L2 = c.L2.clone()
+	n.TLBs = &TLBHierarchy{
+		L1I:     c.TLBs.L1I.clone(),
+		L1D:     c.TLBs.L1D.clone(),
+		L2:      c.TLBs.L2.clone(),
+		WalkLat: c.TLBs.WalkLat,
+		Walks:   c.TLBs.Walks,
+	}
+	n.PF = c.PF.clone()
+	n.simpleFree = slices.Clone(c.simpleFree)
+	n.complexFree = slices.Clone(c.complexFree)
+	n.vectorFree = slices.Clone(c.vectorFree)
+	n.iq = slices.Clone(c.iq)
+	if c.Cfg.LatencyOverride != nil {
+		n.Cfg.LatencyOverride = make(map[host.Op]int, len(c.Cfg.LatencyOverride))
+		for k, v := range c.Cfg.LatencyOverride {
+			n.Cfg.LatencyOverride[k] = v
+		}
+	}
+	return n
+}
+
+func (c *Cache) clone() *Cache {
+	n := &Cache{}
+	*n = *c
+	n.tags = make([][]uint64, len(c.tags))
+	n.lru = make([][]uint64, len(c.lru))
+	for i := range c.tags {
+		n.tags[i] = slices.Clone(c.tags[i])
+		n.lru[i] = slices.Clone(c.lru[i])
+	}
+	n.clock = slices.Clone(c.clock)
+	return n
+}
+
+func (p *BPred) clone() *BPred {
+	n := &BPred{}
+	*n = *p
+	n.table = slices.Clone(p.table)
+	n.btbTags = slices.Clone(p.btbTags)
+	n.btbTargets = slices.Clone(p.btbTargets)
+	return n
+}
+
+func (t *TLB) clone() *TLB {
+	n := &TLB{}
+	*n = *t
+	n.cache = t.cache.clone()
+	return n
+}
+
+func (p *StridePrefetcher) clone() *StridePrefetcher {
+	n := &StridePrefetcher{}
+	*n = *p
+	n.entries = slices.Clone(p.entries)
+	return n
+}

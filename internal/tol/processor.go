@@ -25,6 +25,10 @@ type Config struct {
 	// a translator bug here and let the debugger pinpoint it.
 	MutateRegion func(*ir.Region)
 
+	// OnTranslation, when non-nil, observes every translation the TOL
+	// performs (BB translations, superblock promotions, rebuilds).
+	OnTranslation func(TranslationEvent)
+
 	// DisableChaining turns off block chaining and the IBTC (ablation).
 	DisableChaining bool
 
@@ -314,6 +318,8 @@ func (t *TOL) doBBTranslation(pc uint32) error {
 		t.IBTC.Flush()
 	}
 	t.Stats.BBTranslations++
+	t.observe(TranslationEvent{Kind: TransBB, Entry: pc,
+		GuestInsns: blk.GuestInsns, HostInsns: len(blk.Code)})
 	return nil
 }
 
@@ -426,6 +432,7 @@ func (t *TOL) execBlock(blk *codecache.Block) (RunResult, bool, error) {
 				return RunResult{}, false, err
 			}
 			t.Stats.AssertRebuilds++
+			t.observe(TranslationEvent{Kind: TransAssertRebuild, Entry: res.Block.Entry})
 		}
 		// Forward progress through the interpreter (§V-B1).
 		return t.interpretBB(t.CPU.EIP)
@@ -435,6 +442,7 @@ func (t *TOL) execBlock(blk *codecache.Block) (RunResult, bool, error) {
 				return RunResult{}, false, err
 			}
 			t.Stats.SpecRebuilds++
+			t.observe(TranslationEvent{Kind: TransSpecRebuild, Entry: res.Block.Entry})
 		}
 		return t.interpretBB(t.CPU.EIP)
 	case hostvm.ExitPageFault:
@@ -468,6 +476,8 @@ func (t *TOL) promote(entry uint32) error {
 	if plan.unrolled > 1 {
 		t.Stats.UnrolledLoops++
 	}
+	t.observe(TranslationEvent{Kind: TransSB, Entry: entry,
+		GuestInsns: blk.GuestInsns, HostInsns: len(blk.Code), Unrolled: blk.Unrolled})
 	return nil
 }
 

@@ -15,6 +15,7 @@
 package warmup
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -88,7 +89,13 @@ type StudyResult struct {
 
 // RunStudy executes the methodology on one guest program.
 func RunStudy(im *guest.Image, cfg Config) (*StudyResult, error) {
-	full, err := fullReference(im, cfg)
+	return RunStudyContext(context.Background(), im, cfg)
+}
+
+// RunStudyContext is RunStudy with cancellation: the context is checked
+// between (and, through the controller, within) the candidate runs.
+func RunStudyContext(ctx context.Context, im *guest.Image, cfg Config) (*StudyResult, error) {
+	full, err := fullReference(ctx, im, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +115,7 @@ func RunStudy(im *guest.Image, cfg Config) (*StudyResult, error) {
 	}
 
 	for _, cand := range cfg.Candidates {
-		cr, err := evaluate(im, cfg, cand, starts, authDist, full.cpgi)
+		cr, err := evaluate(ctx, im, cfg, cand, starts, authDist, full.cpgi)
 		if err != nil {
 			return nil, err
 		}
@@ -145,14 +152,14 @@ type fullRun struct {
 }
 
 // fullReference performs the authoritative full detailed simulation.
-func fullReference(im *guest.Image, cfg Config) (*fullRun, error) {
-	ctl, err := controller.New(im, controller.Config{TOL: cfg.TOL})
+func fullReference(ctx context.Context, im *guest.Image, cfg Config) (*fullRun, error) {
+	ctl, err := controller.New(im, controller.Config{TOL: cfg.TOL, CheckInterval: checkInterval})
 	if err != nil {
 		return nil, err
 	}
 	core := timing.New(cfg.Timing)
 	ctl.CoD.VM.Retire = core.Consume
-	if err := ctl.Run(0); err != nil {
+	if err := ctl.RunContext(ctx, 0); err != nil {
 		return nil, err
 	}
 	core.AddTOL(ctl.CoD.Overhead.Total())
@@ -190,8 +197,12 @@ func authoritativeDistributions(im *guest.Image, starts []uint64) ([]map[uint32]
 	return out, nil
 }
 
+// checkInterval bounds controller excursions so a cancelled study
+// returns promptly (guest instructions per cancellation check).
+const checkInterval = 50_000
+
 // evaluate measures one candidate across all samples.
-func evaluate(im *guest.Image, cfg Config, cand Candidate, starts []uint64,
+func evaluate(ctx context.Context, im *guest.Image, cfg Config, cand Candidate, starts []uint64,
 	authDist []map[uint32]uint64, fullCPGI float64) (*CandidateResult, error) {
 
 	var cycles, guestInsns uint64
@@ -212,12 +223,12 @@ func evaluate(im *guest.Image, cfg Config, cand Candidate, starts []uint64,
 			return nil, err
 		}
 		// Transplant into a fresh co-designed component: cold TOL.
-		ctl := controller.NewFrom(x86, controller.Config{TOL: cfg.TOL})
+		ctl := controller.NewFrom(x86, controller.Config{TOL: cfg.TOL, CheckInterval: checkInterval})
 
 		// Warm-up phase with downscaled promotion thresholds.
 		bb, sb := ctl.CoD.Thresholds()
 		ctl.CoD.SetThresholds(bb/cand.Scale, sb/uint64(cand.Scale))
-		if err := ctl.Run(cand.WarmLen); err != nil {
+		if err := ctl.RunContext(ctx, cand.WarmLen); err != nil {
 			return nil, err
 		}
 		warmOverhead := ctl.CoD.Overhead.Total()
@@ -232,7 +243,7 @@ func evaluate(im *guest.Image, cfg Config, cand Candidate, starts []uint64,
 		core := timing.New(cfg.Timing)
 		ctl.CoD.VM.Retire = core.Consume
 		g0 := ctl.CoD.Stats.GuestInsns()
-		if err := ctl.Run(cfg.SampleLen); err != nil {
+		if err := ctl.RunContext(ctx, cfg.SampleLen); err != nil {
 			return nil, err
 		}
 		core.AddTOL(ctl.CoD.Overhead.Total() - warmOverhead)

@@ -1,11 +1,11 @@
 package darco
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
-	"darco/internal/controller"
 	"darco/internal/guest"
 	"darco/internal/power"
 	"darco/internal/timing"
@@ -14,6 +14,10 @@ import (
 
 // Config configures one DARCO run. The timing and power simulators are
 // optional and do not affect functionality (paper §V).
+//
+// Config remains the base configuration an Engine is built from; prefer
+// assembling it through NewEngine's functional options (WithTOL,
+// WithTiming, WithPower, ...) in new code.
 type Config struct {
 	TOL tol.Config
 
@@ -86,58 +90,26 @@ type Result struct {
 }
 
 // Run executes the guest image on the full DARCO stack.
+//
+// Deprecated: Run is a thin wrapper over the Engine/Session API. Use
+// NewEngine with functional options plus Session.Run (or Engine.Run)
+// for cancellation, incremental stepping, streaming observation and
+// campaigns.
 func Run(im *guest.Image, cfg Config) (*Result, error) {
-	ctlCfg := controller.Config{
-		TOL:                 cfg.TOL,
-		ValidateEveryNSyncs: cfg.ValidateEveryNSyncs,
-		MaxGuestInsns:       cfg.MaxGuestInsns,
+	// Legacy semantics the stricter NewEngine validation would reject:
+	// power without timing was silently ignored, and a zero frequency
+	// meant the power model's 1000 MHz default.
+	if cfg.Power != nil && cfg.Timing == nil {
+		cfg.Power = nil
 	}
-	ctl, err := controller.New(im, ctlCfg)
+	if cfg.Power != nil && cfg.FreqMHz <= 0 {
+		cfg.FreqMHz = 1000
+	}
+	eng, err := NewEngine(WithConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
-
-	var core *timing.Core
-	if cfg.Timing != nil {
-		core = timing.New(*cfg.Timing)
-		ctl.CoD.VM.Retire = core.Consume
-	}
-
-	start := time.Now()
-	if err := ctl.Run(0); err != nil {
-		return nil, err
-	}
-	wall := time.Since(start)
-
-	res := &Result{
-		Stats:         ctl.CoD.Stats,
-		Overhead:      ctl.CoD.Overhead,
-		HostAppInsns:  ctl.CoD.VM.AppInsns,
-		Output:        append([]byte(nil), ctl.Output()...),
-		ExitCode:      ctl.X86.Env.ExitCode,
-		Wall:          wall,
-		Validations:   ctl.Validations,
-		PageTransfers: ctl.PageTransfers,
-		SyscallSyncs:  ctl.SyscallSyncs,
-	}
-	res.HostInsns = res.HostAppInsns + res.Overhead.Total()
-	secs := wall.Seconds()
-	if secs > 0 {
-		res.GuestMIPS = float64(res.Stats.GuestInsns()) / secs / 1e6
-		res.HostMIPS = float64(res.HostInsns) / secs / 1e6
-	}
-
-	if core != nil {
-		core.AddTOL(res.Overhead.Total())
-		st := core.Stats
-		res.Timing = &st
-		res.Core = core
-		if cfg.Power != nil {
-			m := power.New(*cfg.Power, cfg.FreqMHz)
-			res.Power = m.Analyze(core)
-		}
-	}
-	return res, nil
+	return eng.Run(context.Background(), im)
 }
 
 // EmulationCostSBM reports host instructions per guest instruction in
