@@ -7,14 +7,32 @@ package darco_test
 // numbers; `cmd/darco-bench` prints the full per-benchmark rows.
 
 import (
+	"context"
 	"testing"
 
 	darco "darco"
 
 	"darco/internal/experiments"
+	"darco/internal/guest"
 	"darco/internal/warmup"
 	"darco/internal/workload"
 )
+
+// benchRun executes im on a fresh Engine built from cfg (the new
+// public surface; the deprecated darco.Run facade is exercised only by
+// its own tests).
+func benchRun(b *testing.B, im *guest.Image, cfg darco.Config) *darco.Result {
+	b.Helper()
+	eng, err := darco.NewEngine(darco.WithConfig(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), im)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
 
 // benchScale keeps the full-suite benches tractable while preserving
 // the figures' shapes (validated at scale 1.0 in EXPERIMENTS.md).
@@ -49,16 +67,13 @@ func suiteMetric(b *testing.B, rs []experiments.BenchResult, suite string,
 // a 2017 cluster core; absolute values are machine-dependent).
 func BenchmarkTableSpeedFunctional(b *testing.B) {
 	p, _ := workload.ByName("429.mcf")
-	im, err := p.Scale(benchScale).Generate()
+	im, err := workload.CachedImage(p.Scale(benchScale))
 	if err != nil {
 		b.Fatal(err)
 	}
 	var guestMIPS, hostMIPS float64
 	for i := 0; i < b.N; i++ {
-		res, err := darco.Run(im, darco.DefaultConfig())
-		if err != nil {
-			b.Fatal(err)
-		}
+		res := benchRun(b, im, darco.DefaultConfig())
 		guestMIPS = res.GuestMIPS
 		hostMIPS = res.HostMIPS
 	}
@@ -70,16 +85,13 @@ func BenchmarkTableSpeedFunctional(b *testing.B) {
 // simulator attached (paper: 370 guest KIPS, 2 host MIPS).
 func BenchmarkTableSpeedTiming(b *testing.B) {
 	p, _ := workload.ByName("429.mcf")
-	im, err := p.Scale(benchScale).Generate()
+	im, err := workload.CachedImage(p.Scale(benchScale))
 	if err != nil {
 		b.Fatal(err)
 	}
 	var guestMIPS, hostMIPS float64
 	for i := 0; i < b.N; i++ {
-		res, err := darco.Run(im, darco.TimingConfig())
-		if err != nil {
-			b.Fatal(err)
-		}
+		res := benchRun(b, im, darco.TimingConfig())
 		guestMIPS = res.GuestMIPS
 		hostMIPS = res.HostMIPS
 	}
@@ -152,7 +164,7 @@ func BenchmarkFig7OverheadBreakdown(b *testing.B) {
 // on full SPEC-length runs; shorter synthetic runs amortise less).
 func BenchmarkCaseStudyWarmup(b *testing.B) {
 	p, _ := workload.ByName("462.libquantum")
-	im, err := p.Scale(0.4).Generate()
+	im, err := workload.CachedImage(p.Scale(0.4))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -173,7 +185,7 @@ func BenchmarkCaseStudyWarmup(b *testing.B) {
 func ablationRun(b *testing.B, mutate func(*darco.Config)) (app, overhead uint64) {
 	b.Helper()
 	p, _ := workload.ByName("429.mcf")
-	im, err := p.Scale(0.25).Generate()
+	im, err := workload.CachedImage(p.Scale(0.25))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -181,10 +193,7 @@ func ablationRun(b *testing.B, mutate func(*darco.Config)) (app, overhead uint64
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	res, err := darco.Run(im, cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
+	res := benchRun(b, im, cfg)
 	return res.HostAppInsns, res.Overhead.Total()
 }
 
@@ -243,17 +252,14 @@ func BenchmarkAblationThresholds(b *testing.B) {
 		thresh := thresh
 		b.Run(benchName(thresh), func(b *testing.B) {
 			p, _ := workload.ByName("429.mcf")
-			im, err := p.Scale(0.25).Generate()
+			im, err := workload.CachedImage(p.Scale(0.25))
 			if err != nil {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
 				cfg := darco.DefaultConfig()
 				cfg.TOL.SBThreshold = thresh
-				res, err := darco.Run(im, cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
+				res := benchRun(b, im, cfg)
 				_, _, sbm := res.ModeShares()
 				b.ReportMetric(100*sbm, "SBM%")
 				b.ReportMetric(100*res.TOLOverheadFrac(), "TOL%")

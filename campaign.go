@@ -226,7 +226,10 @@ func (e *Engine) runScenario(ctx context.Context, sc Scenario, cc *campaignConfi
 	if scale == 0 {
 		scale = 1
 	}
-	im, err := sc.Profile.Scale(scale).Generate()
+	// Campaigns sweep configurations over a fixed workload roster;
+	// memoizing generation by (profile, scale) means a suite rerun or a
+	// threshold sweep pays workload.Generate once per distinct image.
+	im, err := workload.CachedImage(sc.Profile.Scale(scale))
 	if err != nil {
 		out.Err = fmt.Errorf("%s: generate: %w", sc.name(), err)
 		return out

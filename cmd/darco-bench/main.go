@@ -9,14 +9,23 @@
 //	darco-bench -exp all
 //	darco-bench -exp fig4 -scale 1.0 -par 8
 //	darco-bench -exp warmup -bench 429.mcf
+//	darco-bench -json . -scale 0.5
+//
+// -json writes a BENCH_<n>.json perf-trajectory snapshot (ns/op,
+// allocs/op and the headline metrics for the Table-Speed and Fig. 4–7
+// benches) into the given directory, numbered after the highest
+// existing snapshot. Committing one per perf-relevant PR gives the
+// repository a benchmark trajectory to compare against.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"maps"
 	"os"
 	"os/signal"
+	"slices"
 	"time"
 
 	darco "darco"
@@ -33,11 +42,34 @@ func main() {
 		par        = flag.Int("par", 0, "campaign worker-pool width (0 = GOMAXPROCS)")
 		scenarioTO = flag.Duration("scenario-timeout", 0, "per-benchmark timeout (0 = none)")
 		report     = flag.Bool("report", false, "print the campaign report (per-benchmark wall times)")
+		jsonDir    = flag.String("json", "", "write a BENCH_<n>.json perf snapshot into this directory and exit")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *jsonDir != "" {
+		fmt.Fprintf(os.Stderr, "collecting perf snapshot at scale %.2f...\n", *scale)
+		snap, err := experiments.CollectBenchSnapshot(ctx, *scale)
+		if err != nil {
+			fatalf("snapshot: %v", err)
+		}
+		path, err := snap.Write(*jsonDir)
+		if err != nil {
+			fatalf("snapshot: %v", err)
+		}
+		for _, name := range snap.BenchNames() {
+			e := snap.Benches[name]
+			fmt.Printf("%-24s %12.0f ns/op %10.0f allocs/op", name, e.NsPerOp, e.AllocsPerOp)
+			for _, k := range slices.Sorted(maps.Keys(e.Metrics)) {
+				fmt.Printf("  %s=%.2f", k, e.Metrics[k])
+			}
+			fmt.Println()
+		}
+		fmt.Printf("wrote %s\n", path)
+		return
+	}
 
 	needSuites := false
 	switch *exp {
@@ -118,7 +150,7 @@ func main() {
 		if !ok {
 			fatalf("unknown workload %q", *benchName)
 		}
-		im, err := p.Scale(*scale).Generate()
+		im, err := workload.CachedImage(p.Scale(*scale))
 		if err != nil {
 			fatalf("warmup: %v", err)
 		}

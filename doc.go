@@ -59,4 +59,41 @@
 //
 // The one-shot darco.Run(im, cfg) facade is deprecated; it remains as a
 // thin wrapper over an Engine/Session pair.
+//
+// # Hot-path design
+//
+// The emulation inner loops are built around flat, index-addressed
+// state instead of hash lookups — the difference between the paper's
+// multi-MIPS functional rates and map-bound ones:
+//
+//   - Guest memory (guestvm.Memory) is a two-level page table: a group
+//     directory of lazily allocated page-pointer slabs, fronted by a
+//     one-entry MRU page cache. Loads and stores pay index arithmetic;
+//     page-straddling accesses and strict-mode faulting are preserved
+//     exactly.
+//   - Instruction decode is memoized per code page in flat arrays
+//     (guestvm.DecodeCache), shared by both functional emulators. The
+//     TOL additionally caches whole decoded basic blocks for its
+//     interpreter, and the authoritative emulator does the same for its
+//     catch-up runs. TOL.InstallPage invalidates the decode and block
+//     caches for the written page (and the straddling predecessor), so
+//     re-installed code pages decode fresh.
+//   - TOL profiling state (interpretation counts, translation
+//     blacklist, rebuild options, execution frequencies) lives in one
+//     profile entry behind a single map lookup per dispatch, and
+//     overhead accounting accumulates per dispatch before being flushed
+//     into the Fig. 7 categories.
+//
+// None of this changes retired-instruction counts: per-scenario Stats
+// are bit-identical to the unoptimized implementation (pinned by
+// TestStatsBitIdenticalToSeed).
+//
+// # Benchmark trajectory
+//
+// `cmd/darco-bench -json <dir>` measures the Table-Speed and Fig. 4–7
+// benches (ns/op, allocs/op, headline metrics) and writes the next
+// numbered BENCH_<n>.json snapshot. One snapshot is committed per
+// perf-relevant PR; comparing snapshots from the same machine gives the
+// repository's performance trajectory. CI runs every benchmark for one
+// iteration so the harness cannot silently rot.
 package darco

@@ -38,6 +38,12 @@ type Block struct {
 	GuestInsns int      // static guest instructions covered
 	BBs        []uint32 // entry PCs of the constituent guest basic blocks
 
+	// GuestLo/GuestHi bound the guest byte range [GuestLo, GuestHi) the
+	// translation decoded (terminator included). Invalidation by code
+	// page uses it; zero-range blocks are never page-invalidated.
+	GuestLo uint32
+	GuestHi uint32
+
 	// ExitMeta describes each exit site (EXIT/CHAINED/EXITIND
 	// instruction index) of the block: how many guest instructions and
 	// guest basic blocks retire when leaving through it, and whether it
@@ -82,9 +88,14 @@ type exitRef struct {
 type Cache struct {
 	Capacity int
 
-	blocks  map[int]*Block
+	// blocks[i] holds the block with ID base+i (IDs are dense and
+	// monotonic; a flush advances base so IDs are never reused).
+	// Get/Resolve run on every chained block transition, so they pay a
+	// bounds check instead of a map probe.
+	blocks  []*Block
+	base    int
+	nblocks int
 	byEntry map[uint32]*Block
-	nextID  int
 	used    int
 
 	// Statistics.
@@ -106,7 +117,6 @@ func New(capacity int) *Cache {
 	}
 	return &Cache{
 		Capacity: capacity,
-		blocks:   make(map[int]*Block),
 		byEntry:  make(map[uint32]*Block),
 	}
 }
@@ -115,7 +125,7 @@ func New(capacity int) *Cache {
 func (c *Cache) Used() int { return c.used }
 
 // Len reports the number of resident blocks.
-func (c *Cache) Len() int { return len(c.blocks) }
+func (c *Cache) Len() int { return c.nblocks }
 
 // Lookup finds the block translated for guest PC entry.
 func (c *Cache) Lookup(entry uint32) (*Block, bool) {
@@ -125,8 +135,12 @@ func (c *Cache) Lookup(entry uint32) (*Block, bool) {
 
 // Get returns a block by id.
 func (c *Cache) Get(id int) (*Block, bool) {
-	b, ok := c.blocks[id]
-	return b, ok
+	idx := id - c.base
+	if idx < 0 || idx >= len(c.blocks) {
+		return nil, false
+	}
+	b := c.blocks[idx]
+	return b, b != nil
 }
 
 // Insert adds a block, replacing (and invalidating) any previous
@@ -144,9 +158,9 @@ func (c *Cache) Insert(b *Block) (flushed bool) {
 	if old, ok := c.byEntry[b.Entry]; ok {
 		c.Invalidate(old)
 	}
-	b.ID = c.nextID
-	c.nextID++
-	c.blocks[b.ID] = b
+	b.ID = c.base + len(c.blocks)
+	c.blocks = append(c.blocks, b)
+	c.nblocks++
 	c.byEntry[b.Entry] = b
 	c.used += len(b.Code)
 	c.Inserts++
@@ -155,11 +169,11 @@ func (c *Cache) Insert(b *Block) (flushed bool) {
 
 // Invalidate removes a block and unchains every exit pointing at it.
 func (c *Cache) Invalidate(b *Block) {
-	if _, ok := c.blocks[b.ID]; !ok {
+	if got, ok := c.Get(b.ID); !ok || got != b {
 		return
 	}
 	for _, ref := range b.incoming {
-		src, ok := c.blocks[ref.blockID]
+		src, ok := c.Get(ref.blockID)
 		if !ok {
 			continue
 		}
@@ -170,7 +184,8 @@ func (c *Cache) Invalidate(b *Block) {
 			c.ChainsCut++
 		}
 	}
-	delete(c.blocks, b.ID)
+	c.blocks[b.ID-c.base] = nil
+	c.nblocks--
 	if c.byEntry[b.Entry] == b {
 		delete(c.byEntry, b.Entry)
 	}
@@ -178,9 +193,17 @@ func (c *Cache) Invalidate(b *Block) {
 	c.Invalidates++
 }
 
-// Flush empties the cache.
+// Flush empties the cache. Block IDs are not reused: base advances past
+// every ID ever issued, so the next insert continues the sequence
+// (block IDs seed the synthetic host addresses the timing simulator
+// sees, and reused IDs would alias old code addresses).
 func (c *Cache) Flush() {
-	c.blocks = make(map[int]*Block)
+	c.base += len(c.blocks)
+	for i := range c.blocks {
+		c.blocks[i] = nil // release for GC; the slice itself is reused
+	}
+	c.blocks = c.blocks[:0]
+	c.nblocks = 0
 	c.byEntry = make(map[uint32]*Block)
 	c.used = 0
 	c.Flushes++
@@ -214,11 +237,13 @@ func ExitSites(b *Block) []int {
 	return out
 }
 
-// Blocks returns all resident blocks (unordered).
+// Blocks returns all resident blocks in insertion (ID) order.
 func (c *Cache) Blocks() []*Block {
-	out := make([]*Block, 0, len(c.blocks))
+	out := make([]*Block, 0, c.nblocks)
 	for _, b := range c.blocks {
-		out = append(out, b)
+		if b != nil {
+			out = append(out, b)
+		}
 	}
 	return out
 }

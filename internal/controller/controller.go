@@ -156,7 +156,7 @@ func (c *Controller) transferPage(addr uint32) error {
 	if err != nil {
 		return err
 	}
-	c.CoD.Mem.InstallPage(addr&^uint32(guestvm.PageSize-1), page)
+	c.CoD.InstallPage(addr&^uint32(guestvm.PageSize-1), page)
 	c.PageTransfers++
 	c.notify(SyncPageTransfer, addr&^uint32(guestvm.PageSize-1))
 	return nil

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"maps"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"slices"
+	"time"
+
+	darco "darco"
+	"darco/internal/workload"
+)
+
+// BenchEntry is one measured benchmark in a snapshot. For the figure
+// entries the cost fields are the shared suite-campaign cost (the four
+// figures are different views of one campaign).
+type BenchEntry struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchSnapshot is one BENCH_<n>.json: the perf trajectory point a PR
+// leaves behind. Future PRs regenerate it with `darco-bench -json .`
+// and compare against the committed history; absolute numbers are
+// machine-dependent, ratios within one machine are the signal.
+type BenchSnapshot struct {
+	Schema    int                   `json:"schema"`
+	CreatedAt string                `json:"created_at"`
+	GoVersion string                `json:"go_version"`
+	GOOS      string                `json:"goos"`
+	GOARCH    string                `json:"goarch"`
+	Scale     float64               `json:"scale"`
+	Benches   map[string]BenchEntry `json:"benches"`
+}
+
+// measure runs f once and reports its wall time and allocation cost.
+func measure(f func() error) (BenchEntry, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := f()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return BenchEntry{
+		NsPerOp:     float64(wall.Nanoseconds()),
+		AllocsPerOp: float64(after.Mallocs - before.Mallocs),
+		BytesPerOp:  float64(after.TotalAlloc - before.TotalAlloc),
+	}, err
+}
+
+// CollectBenchSnapshot measures the Table-Speed benches and the
+// Figs. 4–7 suite campaign at the given workload scale.
+func CollectBenchSnapshot(ctx context.Context, scale float64) (*BenchSnapshot, error) {
+	snap := &BenchSnapshot{
+		Schema:    1,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Scale:     scale,
+		Benches:   make(map[string]BenchEntry),
+	}
+
+	p, ok := workload.ByName("429.mcf")
+	if !ok {
+		return nil, fmt.Errorf("experiments: 429.mcf missing from roster")
+	}
+	im, err := workload.CachedImage(p.Scale(scale))
+	if err != nil {
+		return nil, err
+	}
+
+	speed := func(name string, cfg darco.Config, timing bool) error {
+		var res *darco.Result
+		entry, err := measure(func() error {
+			eng, err := darco.NewEngine(darco.WithConfig(cfg))
+			if err != nil {
+				return err
+			}
+			res, err = eng.Run(ctx, im)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if timing {
+			entry.Metrics = map[string]float64{
+				"guest-KIPS": res.GuestMIPS * 1000,
+				"host-MIPS":  res.HostMIPS,
+			}
+		} else {
+			entry.Metrics = map[string]float64{
+				"guest-MIPS": res.GuestMIPS,
+				"host-MIPS":  res.HostMIPS,
+			}
+		}
+		snap.Benches[name] = entry
+		return nil
+	}
+	if err := speed("TableSpeedFunctional", darco.DefaultConfig(), false); err != nil {
+		return nil, err
+	}
+	if err := speed("TableSpeedTiming", darco.TimingConfig(), true); err != nil {
+		return nil, err
+	}
+
+	// One parallel suite campaign backs all four figures.
+	var rs []BenchResult
+	campaign, err := measure(func() error {
+		rep, err := SuiteCampaign(ctx, scale, darco.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		rs, err = BenchResults(rep)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	snap.Benches["SuiteCampaign"] = campaign
+
+	fig := func(name string, metrics map[string]float64) {
+		snap.Benches[name] = BenchEntry{
+			NsPerOp:     campaign.NsPerOp,
+			AllocsPerOp: campaign.AllocsPerOp,
+			BytesPerOp:  campaign.BytesPerOp,
+			Metrics:     metrics,
+		}
+	}
+
+	sbm := func(r *BenchResult) float64 { _, _, s := r.Res.ModeShares(); return 100 * s }
+	cost := func(r *BenchResult) float64 { return r.Res.EmulationCostSBM() }
+	ov := func(r *BenchResult) float64 { return 100 * r.Res.TOLOverheadFrac() }
+	avg := func(suite string, f func(*BenchResult) float64) float64 {
+		var sum float64
+		var n int
+		for i := range rs {
+			if rs[i].Profile.Suite == suite {
+				sum += f(&rs[i])
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	fig("Fig4ModeDistribution", map[string]float64{
+		"SBM%-INT":  avg(workload.SuiteINT, sbm),
+		"SBM%-FP":   avg(workload.SuiteFP, sbm),
+		"SBM%-Phys": avg(workload.SuitePhysics, sbm),
+	})
+	fig("Fig5EmulationCost", map[string]float64{
+		"cost-INT":  avg(workload.SuiteINT, cost),
+		"cost-FP":   avg(workload.SuiteFP, cost),
+		"cost-Phys": avg(workload.SuitePhysics, cost),
+	})
+	fig("Fig6TOLOverhead", map[string]float64{
+		"TOL%-INT":  avg(workload.SuiteINT, ov),
+		"TOL%-FP":   avg(workload.SuiteFP, ov),
+		"TOL%-Phys": avg(workload.SuitePhysics, ov),
+	})
+	f7 := Fig7(rs)
+	var interp, bbt, sbt float64
+	for _, r := range f7.Avgs {
+		interp += r.Values[0]
+		bbt += r.Values[1]
+		sbt += r.Values[2]
+	}
+	if n := float64(len(f7.Avgs)); n > 0 {
+		fig("Fig7OverheadBreakdown", map[string]float64{
+			"interp%":  interp / n,
+			"bbtrans%": bbt / n,
+			"sbtrans%": sbt / n,
+		})
+	}
+	return snap, nil
+}
+
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// NextBenchPath returns the path of the next BENCH_<n>.json in dir
+// (1 + the highest existing snapshot number).
+func NextBenchPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	for _, e := range entries {
+		m := benchFileRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		var n int
+		fmt.Sscanf(m[1], "%d", &n)
+		if n >= next {
+			next = n + 1
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}
+
+// WriteBenchSnapshot writes snap as the next BENCH_<n>.json in dir and
+// returns the written path.
+func (s *BenchSnapshot) Write(dir string) (string, error) {
+	path, err := NextBenchPath(dir)
+	if err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// BenchNames lists the snapshot's benchmark names sorted, for stable
+// reporting.
+func (s *BenchSnapshot) BenchNames() []string {
+	return slices.Sorted(maps.Keys(s.Benches))
+}

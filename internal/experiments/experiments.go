@@ -248,7 +248,7 @@ type SpeedRow struct {
 // representative benchmark: guest and host instruction rates with the
 // timing simulator off and on.
 func TableSpeed(ctx context.Context, p workload.Profile, scale float64) ([]SpeedRow, error) {
-	im, err := p.Scale(scale).Generate()
+	im, err := workload.CachedImage(p.Scale(scale))
 	if err != nil {
 		return nil, err
 	}

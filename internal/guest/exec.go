@@ -42,7 +42,13 @@ const (
 // component, TOL's interpreter and (via translation correctness tests)
 // the translated code paths.
 func Step(cpu *CPU, mem Memory, in *Inst) (Event, error) {
-	size := uint32(in.Len())
+	// Decoded instructions carry their encoded size; recomputing it
+	// through the form tables costs two table walks per executed
+	// instruction. Hand-built Inst values (Size zero) still work.
+	size := uint32(in.Size)
+	if size == 0 {
+		size = uint32(in.Len())
+	}
 	next := cpu.EIP + size
 	switch in.Op {
 	case NOP:

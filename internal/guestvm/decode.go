@@ -1,0 +1,96 @@
+package guestvm
+
+import "darco/internal/guest"
+
+// DecodeCache memoizes instruction decoding per code page: decoded
+// instructions are stored in a flat per-page array indexed by the page
+// offset of their first byte, fronted by a one-entry MRU page cache.
+// Both functional emulators fetch through one — the seed paid a Go map
+// lookup per interpreted instruction instead.
+//
+// The cache only stores; the owner decodes (the two emulators differ in
+// how they read instruction bytes and report faults). The zero value is
+// ready to use.
+type DecodeCache struct {
+	pages map[uint32]*decodedPage
+
+	mruPN uint32
+	mru   *decodedPage
+}
+
+// decodedPage holds the decoded instructions starting inside one guest
+// page. An instruction may extend into the following page; it is cached
+// under the page its first byte lives in, which is why invalidating a
+// page must also drop the preceding page's entries.
+type decodedPage struct {
+	valid [PageSize]bool
+	insts [PageSize]guest.Inst
+}
+
+// Lookup returns the cached decode of the instruction at pc.
+func (d *DecodeCache) Lookup(pc uint32) (guest.Inst, bool) {
+	pn := pc >> PageShift
+	pd := d.mru
+	if pd == nil || d.mruPN != pn {
+		pd = d.pages[pn]
+		if pd == nil {
+			return guest.Inst{}, false
+		}
+		d.mruPN, d.mru = pn, pd
+	}
+	off := pc & (PageSize - 1)
+	if !pd.valid[off] {
+		return guest.Inst{}, false
+	}
+	return pd.insts[off], true
+}
+
+// LookupPtr returns a pointer to the cached decode of the instruction
+// at pc, or nil when absent. The pointee must not be mutated.
+func (d *DecodeCache) LookupPtr(pc uint32) *guest.Inst {
+	pn := pc >> PageShift
+	pd := d.mru
+	if pd == nil || d.mruPN != pn {
+		pd = d.pages[pn]
+		if pd == nil {
+			return nil
+		}
+		d.mruPN, d.mru = pn, pd
+	}
+	off := pc & (PageSize - 1)
+	if !pd.valid[off] {
+		return nil
+	}
+	return &pd.insts[off]
+}
+
+// Insert caches the decode of the instruction at pc.
+func (d *DecodeCache) Insert(pc uint32, in guest.Inst) {
+	pn := pc >> PageShift
+	pd := d.mru
+	if pd == nil || d.mruPN != pn {
+		if d.pages == nil {
+			d.pages = make(map[uint32]*decodedPage)
+		}
+		pd = d.pages[pn]
+		if pd == nil {
+			pd = new(decodedPage)
+			d.pages[pn] = pd
+		}
+		d.mruPN, d.mru = pn, pd
+	}
+	off := pc & (PageSize - 1)
+	pd.insts[off] = in
+	pd.valid[off] = true
+}
+
+// InvalidatePage drops every cached decode for the page containing addr
+// and for the preceding page (whose final instructions may straddle into
+// the invalidated one). The co-designed component calls it when the
+// controller installs or rewrites a page.
+func (d *DecodeCache) InvalidatePage(addr uint32) {
+	pn := addr >> PageShift
+	delete(d.pages, pn)
+	delete(d.pages, pn-1)
+	d.mru = nil
+}

@@ -8,7 +8,6 @@ package guestvm
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"darco/internal/guest"
 )
@@ -18,6 +17,17 @@ const PageSize = 4096
 
 // PageShift is log2(PageSize).
 const PageShift = 12
+
+// The 20-bit page number space is resolved through a two-level table:
+// the top groupBits select a lazily allocated group of groupSize page
+// pointers. Index arithmetic replaces the per-access map hashing the
+// seed paid on every guest byte touched.
+const (
+	groupBits = 10
+	groupSize = 1 << groupBits
+	groupMask = groupSize - 1
+	numGroups = 1 << (32 - PageShift - groupBits)
+)
 
 // PageFaultError reports an access to a page the memory does not hold.
 // The co-designed component surfaces it to the controller as a data
@@ -40,50 +50,111 @@ func (e *PageFaultError) PageFaultAddr() uint32 { return e.Addr }
 // With Strict unset, touching an unmapped page allocates it zero-filled
 // (authoritative behaviour). With Strict set, loads and stores to
 // unmapped pages return *PageFaultError (co-designed behaviour).
+//
+// Pages live in a two-level table (group directory of page-pointer
+// slabs) fronted by a one-entry MRU cache, so the emulation hot loops
+// pay index arithmetic instead of map hashing per access.
 type Memory struct {
-	pages  map[uint32]*[PageSize]byte
+	groups [numGroups][]*[PageSize]byte
+	count  int
+
+	// MRU page cache: mru is nil when the cache is empty, so page
+	// number 0 needs no sentinel.
+	mruPN uint32
+	mru   *[PageSize]byte
+
 	Strict bool
 }
 
 // NewMemory returns an empty memory.
 func NewMemory(strict bool) *Memory {
-	return &Memory{pages: make(map[uint32]*[PageSize]byte), Strict: strict}
+	return &Memory{Strict: strict}
 }
 
 // page returns the page containing addr, faulting or allocating per mode.
 func (m *Memory) page(addr uint32) (*[PageSize]byte, error) {
 	pn := addr >> PageShift
-	if p, ok := m.pages[pn]; ok {
-		return p, nil
+	if m.mru != nil && m.mruPN == pn {
+		return m.mru, nil
+	}
+	return m.pageSlow(addr, pn)
+}
+
+// pageSlow is the two-level walk behind the MRU cache.
+func (m *Memory) pageSlow(addr, pn uint32) (*[PageSize]byte, error) {
+	g := m.groups[pn>>groupBits]
+	if g != nil {
+		if p := g[pn&groupMask]; p != nil {
+			m.mruPN, m.mru = pn, p
+			return p, nil
+		}
 	}
 	if m.Strict {
 		return nil, &PageFaultError{Addr: addr, Page: pn << PageShift}
 	}
 	p := new([PageSize]byte)
-	if m.pages == nil {
-		m.pages = make(map[uint32]*[PageSize]byte)
-	}
-	m.pages[pn] = p
+	m.setPage(pn, p)
+	m.mruPN, m.mru = pn, p
 	return p, nil
+}
+
+// setPage installs p as page pn, allocating its group on demand.
+func (m *Memory) setPage(pn uint32, p *[PageSize]byte) {
+	g := m.groups[pn>>groupBits]
+	if g == nil {
+		g = make([]*[PageSize]byte, groupSize)
+		m.groups[pn>>groupBits] = g
+	}
+	if g[pn&groupMask] == nil {
+		m.count++
+	}
+	g[pn&groupMask] = p
+}
+
+// lookupPage returns page pn if mapped, without allocating or faulting.
+func (m *Memory) lookupPage(pn uint32) *[PageSize]byte {
+	g := m.groups[pn>>groupBits]
+	if g == nil {
+		return nil
+	}
+	return g[pn&groupMask]
+}
+
+// forEachPage visits every mapped page in ascending page-number order.
+func (m *Memory) forEachPage(f func(pn uint32, p *[PageSize]byte)) {
+	for gi := range m.groups {
+		g := m.groups[gi]
+		if g == nil {
+			continue
+		}
+		for pi, p := range g {
+			if p != nil {
+				f(uint32(gi)<<groupBits|uint32(pi), p)
+			}
+		}
+	}
 }
 
 // Clone deep-copies the memory (debug toolchain replay).
 func (m *Memory) Clone() *Memory {
 	out := NewMemory(m.Strict)
-	for pn, p := range m.pages {
+	m.forEachPage(func(pn uint32, p *[PageSize]byte) {
 		cp := *p
-		out.pages[pn] = &cp
-	}
+		out.setPage(pn, &cp)
+	})
 	return out
 }
 
-// InstallPage maps a page image at the page containing addr.
+// InstallPage maps a page image at the page containing addr. An already
+// mapped page is overwritten in place.
 func (m *Memory) InstallPage(pageAddr uint32, data *[PageSize]byte) {
-	if m.pages == nil {
-		m.pages = make(map[uint32]*[PageSize]byte)
+	pn := pageAddr >> PageShift
+	if p := m.lookupPage(pn); p != nil {
+		*p = *data
+		return
 	}
 	cp := *data
-	m.pages[pageAddr>>PageShift] = &cp
+	m.setPage(pn, &cp)
 }
 
 // PageData returns a copy of the page containing addr, allocating it if
@@ -99,20 +170,18 @@ func (m *Memory) PageData(addr uint32) (*[PageSize]byte, error) {
 
 // HasPage reports whether the page containing addr is mapped.
 func (m *Memory) HasPage(addr uint32) bool {
-	_, ok := m.pages[addr>>PageShift]
-	return ok
+	return m.lookupPage(addr>>PageShift) != nil
 }
 
 // PageCount reports the number of mapped pages.
-func (m *Memory) PageCount() int { return len(m.pages) }
+func (m *Memory) PageCount() int { return m.count }
 
 // Pages returns the sorted list of mapped page base addresses.
 func (m *Memory) Pages() []uint32 {
-	out := make([]uint32, 0, len(m.pages))
-	for pn := range m.pages {
+	out := make([]uint32, 0, m.count)
+	m.forEachPage(func(pn uint32, _ *[PageSize]byte) {
 		out = append(out, pn<<PageShift)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	})
 	return out
 }
 
@@ -235,26 +304,32 @@ func (m *Memory) LoadImage(im *guest.Image) error {
 // unmapped pages as zero. It returns the first differing address when
 // not equal.
 func (m *Memory) Equal(o *Memory) (bool, uint32) {
-	check := func(a, b *Memory) (bool, uint32) {
-		for pn, p := range a.pages {
-			q, ok := b.pages[pn]
+	check := func(a, b *Memory) (ok bool, diff uint32) {
+		ok = true
+		a.forEachPage(func(pn uint32, p *[PageSize]byte) {
 			if !ok {
+				return
+			}
+			q := b.lookupPage(pn)
+			if q == nil {
 				for i, v := range p {
 					if v != 0 {
-						return false, pn<<PageShift + uint32(i)
+						ok, diff = false, pn<<PageShift+uint32(i)
+						return
 					}
 				}
-				continue
+				return
 			}
 			if *p != *q {
 				for i := range p {
 					if p[i] != q[i] {
-						return false, pn<<PageShift + uint32(i)
+						ok, diff = false, pn<<PageShift+uint32(i)
+						return
 					}
 				}
 			}
-		}
-		return true, 0
+		})
+		return ok, diff
 	}
 	if ok, addr := check(m, o); !ok {
 		return false, addr

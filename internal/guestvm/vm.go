@@ -55,14 +55,34 @@ type VM struct {
 	// it as the authoritative execution distribution.
 	BBFreq map[uint32]uint64
 
-	decode  map[uint32]guest.Inst
+	decode  DecodeCache
 	bbStart uint32
 	inBB    bool
+
+	// bbcache holds fully decoded basic blocks: Run executes them
+	// without per-instruction fetch or bookkeeping dispatch. Blocks are
+	// recorded by Step on their first complete execution.
+	// Self-modifying code is out of scope (see Fetch), so entries are
+	// never invalidated.
+	bbcache   map[uint32]*cachedBB
+	rec       []guest.Inst
+	recNext   uint32
+	recording bool
 }
+
+// cachedBB is one decoded basic block, terminator included.
+type cachedBB struct {
+	insts       []guest.Inst
+	endsSyscall bool // terminator is SYSCALL (StopAtSys pauses before it)
+}
+
+// maxRecordInsns bounds a recorded basic block; longer blocks execute
+// through the incremental path every time.
+const maxRecordInsns = 4096
 
 // New creates a VM, loads the image, and prepares the stack.
 func New(im *guest.Image) (*VM, error) {
-	vm := &VM{Mem: NewMemory(false), Env: NewEnv(), decode: make(map[uint32]guest.Inst)}
+	vm := &VM{Mem: NewMemory(false), Env: NewEnv(), bbcache: make(map[uint32]*cachedBB)}
 	if err := vm.Mem.LoadImage(im); err != nil {
 		return nil, err
 	}
@@ -75,7 +95,7 @@ func New(im *guest.Image) (*VM, error) {
 // Self-modifying code is out of scope for the reproduction (the paper's
 // workloads do not exercise it either).
 func (vm *VM) Fetch(pc uint32) (guest.Inst, error) {
-	if in, ok := vm.decode[pc]; ok {
+	if in, ok := vm.decode.Lookup(pc); ok {
 		return in, nil
 	}
 	var raw [10]byte
@@ -90,28 +110,62 @@ func (vm *VM) Fetch(pc uint32) (guest.Inst, error) {
 	if n == 0 {
 		return in, fmt.Errorf("guestvm: undecodable instruction at %#x", pc)
 	}
-	vm.decode[pc] = in
+	vm.decode.Insert(pc, in)
 	return in, nil
 }
 
 // Step executes exactly one instruction, servicing syscalls inline.
+// Complete basic blocks stepped through from their entry are recorded
+// into the block cache for Run's fast path.
 func (vm *VM) Step() (guest.Event, error) {
-	in, err := vm.Fetch(vm.CPU.EIP)
-	if err != nil {
-		return guest.EvNone, err
+	pc := vm.CPU.EIP
+	in := vm.decode.LookupPtr(pc)
+	if in == nil {
+		if _, err := vm.Fetch(pc); err != nil {
+			vm.recording = false
+			return guest.EvNone, err
+		}
+		in = vm.decode.LookupPtr(pc)
 	}
 	if !vm.inBB {
 		vm.inBB = true
-		vm.bbStart = vm.CPU.EIP
+		vm.bbStart = pc
+		if vm.bbcache != nil {
+			if _, known := vm.bbcache[pc]; !known {
+				vm.recording = true
+				vm.rec = vm.rec[:0]
+			} else {
+				vm.recording = false
+			}
+		}
+	} else if vm.recording && pc != vm.recNext {
+		// Control arrived somewhere unexpected mid-block: stop recording.
+		vm.recording = false
 	}
-	ev, err := guest.Step(&vm.CPU, vm.Mem, &in)
+	if vm.recording {
+		if len(vm.rec) < maxRecordInsns {
+			vm.rec = append(vm.rec, *in)
+			vm.recNext = pc + uint32(in.Size)
+		} else {
+			vm.recording = false
+		}
+	}
+	ev, err := guest.Step(&vm.CPU, vm.Mem, in)
 	if err != nil {
+		vm.recording = false
 		return ev, err
 	}
 	vm.InsnCount++
 	if in.Op.EndsBasicBlock() {
 		vm.BBCount++
 		vm.inBB = false
+		if vm.recording {
+			vm.bbcache[vm.bbStart] = &cachedBB{
+				insts:       append([]guest.Inst(nil), vm.rec...),
+				endsSyscall: in.Op == guest.SYSCALL,
+			}
+			vm.recording = false
+		}
 		if vm.BBFreq != nil {
 			vm.BBFreq[vm.bbStart]++
 		}
@@ -128,6 +182,48 @@ func (vm *VM) Step() (guest.Event, error) {
 		}
 	}
 	return ev, nil
+}
+
+// runCachedBB executes one cached basic block from its entry. It
+// mirrors Step's bookkeeping exactly, minus the per-instruction fetch
+// and dispatch. The caller has verified the instruction-count limit
+// cannot trigger inside the block. It reports whether Run must stop.
+func (vm *VM) runCachedBB(bb *cachedBB, stopAtSys bool) (stop bool, reason StopReason, err error) {
+	insts := bb.insts
+	last := len(insts) - 1
+	vm.inBB = true
+	vm.bbStart = vm.CPU.EIP
+	for i := 0; i <= last; i++ {
+		if i == last && bb.endsSyscall && stopAtSys {
+			// Pause with EIP at the SYSCALL, body retired.
+			return true, StopSyscall, nil
+		}
+		in := &insts[i]
+		ev, err := guest.Step(&vm.CPU, vm.Mem, in)
+		if err != nil {
+			return true, StopError, err
+		}
+		vm.InsnCount++
+		if i == last { // terminator: EndsBasicBlock by construction
+			vm.BBCount++
+			vm.inBB = false
+			if vm.BBFreq != nil {
+				vm.BBFreq[vm.bbStart]++
+			}
+		}
+		switch ev {
+		case guest.EvHalt:
+			vm.Halted = true
+		case guest.EvSyscall:
+			if err := vm.Env.Service(&vm.CPU, vm.Mem); err != nil {
+				return true, StopError, err
+			}
+			if vm.Env.Exited {
+				vm.Halted = true
+			}
+		}
+	}
+	return false, 0, nil
 }
 
 // RunLimits bounds a Run call. Zero fields mean unlimited.
@@ -147,6 +243,23 @@ func (vm *VM) Run(lim RunLimits) (StopReason, error) {
 		}
 		if lim.InsnCount > 0 && vm.InsnCount >= lim.InsnCount {
 			return StopInsnLimit, nil
+		}
+		// Fast path: at a block boundary with a cached decode and no
+		// chance of the instruction limit triggering mid-block, execute
+		// the whole block at once. A SYSCALL can only terminate a block,
+		// so the per-instruction StopAtSys probe is unnecessary here.
+		if !vm.inBB {
+			if bb := vm.bbcache[vm.CPU.EIP]; bb != nil &&
+				(lim.InsnCount == 0 || vm.InsnCount+uint64(len(bb.insts)) <= lim.InsnCount) {
+				stop, reason, err := vm.runCachedBB(bb, lim.StopAtSys)
+				if err != nil {
+					return StopError, err
+				}
+				if stop {
+					return reason, nil
+				}
+				continue
+			}
 		}
 		if lim.StopAtSys {
 			in, err := vm.Fetch(vm.CPU.EIP)

@@ -121,9 +121,11 @@ func (vm *VM) runBlock(b *codecache.Block) (Result, error) {
 	i := 0
 	for i < len(code) {
 		in := &code[i]
-		pc := blockPC(b.ID, i)
-		if in.Op.Desc().Class != host.ClassBranch {
-			vm.retire(in, pc, false, 0)
+		if host.Descs[in.Op].Class != host.ClassBranch {
+			vm.AppInsns++
+			if vm.Retire != nil {
+				vm.retireEvent(in, blockPC(b.ID, i), false, 0)
+			}
 		}
 		switch in.Op {
 		case host.NOPH:
@@ -295,41 +297,50 @@ func (vm *VM) runBlock(b *codecache.Block) (Result, error) {
 
 		case host.BEQZ:
 			taken := r.R[in.Ra] == 0
-			vm.retire(in, pc, taken, blockPC(b.ID, i+1+int(in.Imm)))
+			vm.AppInsns++
+			if vm.Retire != nil {
+				vm.retireEvent(in, blockPC(b.ID, i), taken, blockPC(b.ID, i+1+int(in.Imm)))
+			}
 			if taken {
 				i += 1 + int(in.Imm)
 				continue
 			}
 		case host.BNEZ:
 			taken := r.R[in.Ra] != 0
-			vm.retire(in, pc, taken, blockPC(b.ID, i+1+int(in.Imm)))
+			vm.AppInsns++
+			if vm.Retire != nil {
+				vm.retireEvent(in, blockPC(b.ID, i), taken, blockPC(b.ID, i+1+int(in.Imm)))
+			}
 			if taken {
 				i += 1 + int(in.Imm)
 				continue
 			}
 		case host.JREL:
-			vm.retire(in, pc, true, blockPC(b.ID, i+1+int(in.Imm)))
+			vm.AppInsns++
+			if vm.Retire != nil {
+				vm.retireEvent(in, blockPC(b.ID, i), true, blockPC(b.ID, i+1+int(in.Imm)))
+			}
 			i += 1 + int(in.Imm)
 			continue
 
 		case host.EXIT:
-			vm.retire(in, pc, true, TOLDispatchPC)
+			vm.retire(in, blockPC(b.ID, i), true, TOLDispatchPC)
 			return Result{Kind: ExitToTOL, NextPC: in.Target, Block: b, ExitIdx: i}, nil
 		case host.CHAINED:
-			vm.retire(in, pc, true, blockPC(in.Link, 0))
+			vm.retire(in, blockPC(b.ID, i), true, blockPC(in.Link, 0))
 			return Result{Kind: ExitToTOL, NextPC: in.Target, Block: b, ExitIdx: i}, nil
 		case host.EXITIND:
 			next := r.R[in.Ra]
 			// Indirect targets get a synthetic address derived from the
 			// guest PC so the BTB sees stable per-target addresses.
-			vm.retire(in, pc, true, 0x8000_0000|next)
+			vm.retire(in, blockPC(b.ID, i), true, 0x8000_0000|next)
 			return Result{Kind: ExitIndirect, NextPC: next, Block: b, ExitIdx: i}, nil
 
 		case host.ASSERTH:
 			failed := r.R[in.Ra] == 0
 			// A failing assert behaves like a mispredicted branch that
 			// flushes to the TOL's recovery path.
-			vm.retire(in, pc, failed, TOLDispatchPC)
+			vm.retire(in, blockPC(b.ID, i), failed, TOLDispatchPC)
 			if failed {
 				vm.AssertFails++
 				b.AssertFails++

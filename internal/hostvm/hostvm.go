@@ -224,19 +224,32 @@ var retireNop = host.Inst{Op: host.NOPH}
 func (vm *VM) retire(in *host.Inst, pc uint32, taken bool, target uint32) {
 	vm.AppInsns++
 	if vm.Retire != nil {
-		ev := RetireEvent{Inst: in, PC: pc, Taken: taken, Target: target}
-		d := in.Op.Desc()
-		if d.IsLoad || d.IsStore {
-			ev.Addr = vm.Regs.R[in.Ra] + uint32(in.Imm)
-		}
-		vm.Retire(ev)
+		vm.retireEvent(in, pc, taken, target)
 	}
+}
+
+// retireEvent builds and delivers the retire event for the timing
+// simulator. Kept out of the retirement fast path: without a consumer,
+// runBlock only bumps AppInsns and never materializes events or
+// synthetic PCs.
+func (vm *VM) retireEvent(in *host.Inst, pc uint32, taken bool, target uint32) {
+	ev := RetireEvent{Inst: in, PC: pc, Taken: taken, Target: target}
+	d := in.Op.Desc()
+	if d.IsLoad || d.IsStore {
+		ev.Addr = vm.Regs.R[in.Ra] + uint32(in.Imm)
+	}
+	vm.Retire(ev)
 }
 
 // chargeSynthetic accounts host instructions that exist in the real
 // machine's code stream but are modelled as fixed-cost sequences (IBTC
-// probes, profiling counter bumps).
+// probes, profiling counter bumps). Without a retire consumer the
+// per-instruction events are unobservable, so only the counter moves.
 func (vm *VM) chargeSynthetic(n int) {
+	if vm.Retire == nil {
+		vm.AppInsns += uint64(n)
+		return
+	}
 	for i := 0; i < n; i++ {
 		vm.retire(&retireNop, 0, false, 0)
 	}

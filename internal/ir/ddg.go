@@ -191,15 +191,51 @@ type DDG struct {
 	N     int
 	Succs [][]Edge
 	Preds [][]Edge
+
+	// edges collects the graph during construction; finish() buckets it
+	// into the Succs/Preds adjacency views, which share two arenas
+	// instead of paying one allocation per node's first edge.
+	edges []Edge
 }
 
 func (g *DDG) addEdge(from, to int, breakable bool) {
 	if from == to {
 		return
 	}
-	e := Edge{From: from, To: to, Breakable: breakable}
-	g.Succs[from] = append(g.Succs[from], e)
-	g.Preds[to] = append(g.Preds[to], e)
+	g.edges = append(g.edges, Edge{From: from, To: to, Breakable: breakable})
+}
+
+// finish builds the adjacency views from the collected edge list,
+// preserving insertion order within each node.
+func (g *DDG) finish() {
+	n := g.N
+	sOff := make([]int, n+1)
+	pOff := make([]int, n+1)
+	for _, e := range g.edges {
+		sOff[e.From+1]++
+		pOff[e.To+1]++
+	}
+	for i := 0; i < n; i++ {
+		sOff[i+1] += sOff[i]
+		pOff[i+1] += pOff[i]
+	}
+	sArena := make([]Edge, len(g.edges))
+	pArena := make([]Edge, len(g.edges))
+	sPos := make([]int, n)
+	pPos := make([]int, n)
+	for _, e := range g.edges {
+		sArena[sOff[e.From]+sPos[e.From]] = e
+		sPos[e.From]++
+		pArena[pOff[e.To]+pPos[e.To]] = e
+		pPos[e.To]++
+	}
+	g.Succs = make([][]Edge, n)
+	g.Preds = make([][]Edge, n)
+	for i := 0; i < n; i++ {
+		g.Succs[i] = sArena[sOff[i]:sOff[i+1]:sOff[i+1]]
+		g.Preds[i] = pArena[pOff[i]:pOff[i+1]:pOff[i+1]]
+	}
+	g.edges = nil
 }
 
 // BuildDDG constructs the dependence graph: true data dependences,
@@ -207,7 +243,7 @@ func (g *DDG) addEdge(from, to int, breakable bool) {
 // asserts and exits.
 func (r *Region) BuildDDG() *DDG {
 	n := len(r.Code)
-	g := &DDG{N: n, Succs: make([][]Edge, n), Preds: make([][]Edge, n)}
+	g := &DDG{N: n}
 	defIdx := make([]int, r.NumValues+1)
 	for i := range defIdx {
 		defIdx[i] = -1
@@ -293,5 +329,6 @@ func (r *Region) BuildDDG() *DDG {
 		}
 	}
 	_ = exitIdx
+	g.finish()
 	return g
 }

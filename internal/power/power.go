@@ -8,6 +8,8 @@ package power
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 
 	"darco/internal/host"
 	"darco/internal/timing"
@@ -111,9 +113,12 @@ func (m *Model) Analyze(c *timing.Core) *Report {
 	// The TOL's own instructions burn core energy too.
 	comp["tol"] = pj(st.TOLInsns, m.E.FetchPerInsn+m.E.DecodePerInsn+m.E.IssuePerInsn+m.E.SimpleOp)
 
+	// Sum in sorted key order: float addition is order-sensitive and map
+	// iteration is randomized, so ranging over comp made DynamicJ
+	// nondeterministic across identical runs.
 	var dyn float64
-	for _, v := range comp {
-		dyn += v
+	for _, k := range slices.Sorted(maps.Keys(comp)) {
+		dyn += comp[k]
 	}
 	secs := float64(st.Cycles) / (m.FreqMHz * 1e6)
 	static := (m.E.LeakCoreMW + m.E.LeakCacheMW) * 1e-3 * secs

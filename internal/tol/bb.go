@@ -231,6 +231,8 @@ func (t *TOL) translateBB(pc uint32) (*codecache.Block, error) {
 		Code:       gen.Code,
 		GuestInsns: bb.staticLen(),
 		BBs:        []uint32{pc},
+		GuestLo:    pc,
+		GuestHi:    bb.nextPC,
 		ExitMeta:   convertMeta(gen.ExitMeta),
 	}
 	return blk, nil

@@ -41,7 +41,7 @@ func (t *TOL) RetranslateAtLevel(blk *codecache.Block, level OptLevel) (*codecac
 	if err != nil {
 		return nil, err
 	}
-	opts := t.sbOpts[blk.Entry]
+	opts := t.profOpts(blk.Entry)
 	opts.level = level
 	nb, _, err := t.translateSuperblock(plan, opts)
 	return nb, err
@@ -68,7 +68,7 @@ func (t *TOL) BuildRegionIR(blk *codecache.Block) (*ir.Region, error) {
 	if err != nil {
 		return nil, err
 	}
-	x, _, _, err := buildSuperblockIR(plan, !t.sbOpts[blk.Entry].noAsserts, t.Cfg.EagerFlags)
+	x, _, _, err := buildSuperblockIR(plan, !t.profOpts(blk.Entry).noAsserts, t.Cfg.EagerFlags)
 	if err != nil {
 		return nil, err
 	}

@@ -110,6 +110,17 @@ func (s *Stats) GuestInsns() uint64 {
 	return s.GuestInsnsIM + s.GuestInsnsBBM + s.GuestInsnsSBM
 }
 
+// profEntry is the per-region-entry profiling record. The seed kept four
+// parallel maps (interpretation counts, translation blacklist, rebuild
+// options, execution frequencies) and paid up to four hash lookups per
+// dispatch; one entry behind one lookup holds them all.
+type profEntry struct {
+	repCount    uint32 // interpretations since the last translation decision
+	noTranslate bool   // block is untranslatable; stay in the interpreter
+	sbOpts      sbOptions
+	bbFreq      uint64 // region entry frequency (warm-up correlation input)
+}
+
 // TOL is the Translation Optimization Layer plus the co-designed
 // component state it drives: the emulated guest architectural state, the
 // emulated (strict, demand-paged) guest memory, the host emulator, the
@@ -126,19 +137,24 @@ type TOL struct {
 	Overhead Overhead
 	Stats    Stats
 
-	// BBFreq is the co-designed execution distribution (region entry
-	// frequencies); the warm-up methodology correlates it across
-	// configurations.
-	BBFreq map[uint32]uint64
-
 	Fetch Fetcher
 
-	repCount    map[uint32]uint32
-	noTranslate map[uint32]bool
-	sbOpts      map[uint32]sbOptions
-	decode      map[uint32]guest.Inst
-	halted      bool
-	midBB       bool
+	// prof holds the per-entry profile records (see profEntry).
+	prof map[uint32]*profEntry
+
+	// dec memoizes guest instruction decode per code page; iblocks
+	// caches whole decoded basic blocks for the interpreter. Both are
+	// invalidated by InstallPage when the controller (re)writes a page.
+	dec           guestvm.DecodeCache
+	iblocks       map[uint32]*interpBlock
+	iblocksByPage map[uint32][]uint32
+
+	// ov accumulates overhead charges within the current dispatch; it
+	// is flushed into Overhead once per dispatch by Run.
+	ov [NumOverheadCats]uint64
+
+	halted bool
+	midBB  bool
 
 	// LastDispatch records the most recent dispatch for the debug
 	// toolchain: what executed and from where.
@@ -167,15 +183,13 @@ type DispatchRecord struct {
 // page requests.
 func New(cfg Config) *TOL {
 	t := &TOL{
-		Mem:         guestvm.NewMemory(true),
-		Cache:       codecache.New(cfg.CacheSize),
-		Cfg:         cfg,
-		SBCfg:       cfg.SB,
-		BBFreq:      make(map[uint32]uint64),
-		repCount:    make(map[uint32]uint32),
-		noTranslate: make(map[uint32]bool),
-		sbOpts:      make(map[uint32]sbOptions),
-		decode:      make(map[uint32]guest.Inst),
+		Mem:           guestvm.NewMemory(true),
+		Cache:         codecache.New(cfg.CacheSize),
+		Cfg:           cfg,
+		SBCfg:         cfg.SB,
+		prof:          make(map[uint32]*profEntry),
+		iblocks:       make(map[uint32]*interpBlock),
+		iblocksByPage: make(map[uint32][]uint32),
 	}
 	t.IBTC = NewIBTC(t.Cache)
 	vmCfg := cfg.HostCfg
@@ -186,6 +200,80 @@ func New(cfg Config) *TOL {
 	t.Fetch = t.fetchInst
 	t.Overhead.Charge(OvOther, cfg.Costs.Init)
 	return t
+}
+
+// InstallPage installs a page image into the emulated guest memory and
+// invalidates every artifact derived from the page's previous content:
+// the per-page decode cache, the cached interpreter blocks, and any
+// translated code-cache blocks whose decoded guest bytes touch the page
+// (along with their per-entry translation decisions — the new code may
+// translate differently). The controller must install pages through
+// this method, not through Mem directly: the seed decoded straight into
+// an append-only map and kept serving stale instructions after a page
+// was re-installed or rewritten.
+//
+// In the normal controller flow each page is installed exactly once,
+// before any decode of its bytes can have succeeded, so the
+// invalidation sweep is a no-op there and execution statistics are
+// unaffected.
+func (t *TOL) InstallPage(pageAddr uint32, data *[guestvm.PageSize]byte) {
+	t.Mem.InstallPage(pageAddr, data)
+	t.dec.InvalidatePage(pageAddr)
+	t.dropInterpBlocks(pageAddr >> guestvm.PageShift)
+
+	lo := pageAddr &^ uint32(guestvm.PageSize-1)
+	hi := lo + guestvm.PageSize
+	if hi < lo { // top-of-address-space page
+		hi = ^uint32(0)
+	}
+	reset := func(entry uint32) {
+		if p := t.prof[entry]; p != nil {
+			p.noTranslate = false
+			p.sbOpts = sbOptions{}
+		}
+	}
+	for _, blk := range t.Cache.Blocks() {
+		if blk.GuestLo < hi && lo < blk.GuestHi {
+			t.Cache.Invalidate(blk)
+			reset(blk.Entry)
+		}
+	}
+	for pc := range t.prof {
+		if pc >= lo && pc < hi {
+			reset(pc)
+		}
+	}
+}
+
+// prof1 returns (allocating if needed) the profile entry for pc.
+func (t *TOL) prof1(pc uint32) *profEntry {
+	if p := t.prof[pc]; p != nil {
+		return p
+	}
+	p := &profEntry{}
+	t.prof[pc] = p
+	return p
+}
+
+// profOpts reads the rebuild options for entry without allocating.
+func (t *TOL) profOpts(pc uint32) sbOptions {
+	if p := t.prof[pc]; p != nil {
+		return p.sbOpts
+	}
+	return sbOptions{}
+}
+
+// BBFreqSnapshot returns a copy of the co-designed execution
+// distribution (region entry frequencies). The warm-up methodology
+// correlates it against the authoritative distribution.
+func (t *TOL) BBFreqSnapshot() map[uint32]uint64 {
+	out := make(map[uint32]uint64, len(t.prof))
+	for pc, p := range t.prof {
+		if p.bbFreq > 0 {
+			out[pc] = p.bbFreq
+		}
+	}
+	return out
 }
 
 // SetThresholds changes the promotion thresholds at run time. The
@@ -214,9 +302,10 @@ func (t *TOL) Halted() bool { return t.halted }
 // SetHalted force-stops the component (controller use, on SysExit).
 func (t *TOL) SetHalted() { t.halted = true }
 
-// fetchInst decodes the guest instruction at pc from emulated memory.
+// fetchInst decodes the guest instruction at pc from emulated memory,
+// through the per-page decode cache.
 func (t *TOL) fetchInst(pc uint32) (guest.Inst, error) {
-	if in, ok := t.decode[pc]; ok {
+	if in, ok := t.dec.Lookup(pc); ok {
 		return in, nil
 	}
 	var raw [10]byte
@@ -241,8 +330,19 @@ func (t *TOL) fetchInst(pc uint32) (guest.Inst, error) {
 	if k == 0 {
 		return guest.Inst{Op: guest.BAD}, fmt.Errorf("tol: undecodable instruction at %#x", pc)
 	}
-	t.decode[pc] = in
+	t.dec.Insert(pc, in)
 	return in, nil
+}
+
+// flushOverhead folds the per-dispatch overhead accumulator into the
+// run totals.
+func (t *TOL) flushOverhead() {
+	for c, v := range t.ov {
+		if v != 0 {
+			t.Overhead.Cat[c] += v
+			t.ov[c] = 0
+		}
+	}
 }
 
 // Run executes up to budget guest instructions (0 = until an event).
@@ -253,6 +353,7 @@ func (t *TOL) Run(budget uint64) (RunResult, error) {
 			return RunResult{Event: EvBudget}, nil
 		}
 		res, done, err := t.dispatch()
+		t.flushOverhead()
 		if err != nil {
 			return RunResult{}, err
 		}
@@ -267,9 +368,9 @@ func (t *TOL) Run(budget uint64) (RunResult, error) {
 func (t *TOL) dispatch() (RunResult, bool, error) {
 	c := &t.Cfg.Costs
 	t.Stats.Dispatches++
-	t.Overhead.Charge(OvOther, c.DispatchLoop+c.StatsPerDispatch)
+	t.ov[OvOther] += c.DispatchLoop + c.StatsPerDispatch
 	pc := t.CPU.EIP
-	t.Overhead.Charge(OvLookup, c.Lookup)
+	t.ov[OvLookup] += c.Lookup
 	if blk, ok := t.Cache.Lookup(pc); ok {
 		return t.execBlock(blk)
 	}
@@ -290,30 +391,31 @@ func (t *TOL) dispatch() (RunResult, bool, error) {
 		return t.interpretBB(pc)
 	}
 
-	t.repCount[pc]++
-	if t.repCount[pc] >= t.Cfg.BBThreshold && !t.noTranslate[pc] {
-		if err := t.doBBTranslation(pc); err != nil {
+	p := t.prof1(pc)
+	p.repCount++
+	if p.repCount >= t.Cfg.BBThreshold && !p.noTranslate {
+		if err := t.doBBTranslation(pc, p); err != nil {
 			return t.pageFaultResult(err)
 		}
-		if !t.noTranslate[pc] {
+		if !p.noTranslate {
 			return RunResult{}, false, nil // next dispatch executes it
 		}
 	}
-	return t.interpretBB(pc)
+	return t.interpretBBWith(pc, p)
 }
 
 // doBBTranslation translates and installs the basic block at pc.
-func (t *TOL) doBBTranslation(pc uint32) error {
+func (t *TOL) doBBTranslation(pc uint32, p *profEntry) error {
 	blk, err := t.translateBB(pc)
 	if err != nil {
 		return err
 	}
 	if blk == nil {
-		t.noTranslate[pc] = true
+		p.noTranslate = true
 		return nil
 	}
 	c := &t.Cfg.Costs
-	t.Overhead.Charge(OvBBTrans, c.BBTransFixed+c.BBTransPerInsn*uint64(blk.GuestInsns))
+	t.ov[OvBBTrans] += c.BBTransFixed + c.BBTransPerInsn*uint64(blk.GuestInsns)
 	if t.Cache.Insert(blk) {
 		t.IBTC.Flush()
 	}
@@ -332,47 +434,11 @@ func (t *TOL) pageFaultResult(err error) (RunResult, bool, error) {
 	return RunResult{}, false, err
 }
 
-// interpretBB interprets one basic block starting at pc (IM).
-func (t *TOL) interpretBB(pc uint32) (RunResult, bool, error) {
-	c := &t.Cfg.Costs
-	t.Stats.InterpBBs++
-	t.BBFreq[pc]++
-	t.LastDispatch = DispatchRecord{PC: pc, Mode: "im", BlockID: -1}
-	for {
-		in, err := t.Fetch(t.CPU.EIP)
-		if err != nil {
-			return t.pageFaultResult(err)
-		}
-		if in.Op == guest.SYSCALL {
-			t.Stats.Syscalls++
-			return RunResult{Event: EvSyscall}, true, nil
-		}
-		snapshot := t.CPU
-		ev, err := guest.Step(&t.CPU, t.Mem, &in)
-		if err != nil {
-			t.CPU = snapshot
-			return t.pageFaultResult(err)
-		}
-		t.Overhead.Charge(OvInterp, c.InterpPerInsn)
-		t.Stats.GuestInsnsIM++
-		t.midBB = true
-		if in.Op.EndsBasicBlock() {
-			t.Stats.GuestBBs++
-			t.midBB = false
-			if ev == guest.EvHalt {
-				t.halted = true
-				return RunResult{Event: EvHalt}, true, nil
-			}
-			return RunResult{}, false, nil
-		}
-	}
-}
-
 // execBlock runs translated code and handles its exit.
 func (t *TOL) execBlock(blk *codecache.Block) (RunResult, bool, error) {
 	c := &t.Cfg.Costs
-	t.Overhead.Charge(OvPrologue, c.Prologue)
-	t.BBFreq[blk.Entry]++
+	t.ov[OvPrologue] += c.Prologue
+	t.prof1(blk.Entry).bbFreq++
 	t.LastDispatch = DispatchRecord{PC: blk.Entry, Mode: blk.Kind.String(), BlockID: blk.ID}
 	t.VM.Regs.LoadGuest(&t.CPU)
 	res, rstats, err := t.VM.Run(blk, t.Cfg.RunFuel)
@@ -381,7 +447,7 @@ func (t *TOL) execBlock(blk *codecache.Block) (RunResult, bool, error) {
 	}
 	t.VM.Regs.StoreGuest(&t.CPU)
 	t.CPU.EIP = res.NextPC
-	t.Overhead.Charge(OvPrologue, c.Epilogue)
+	t.ov[OvPrologue] += c.Epilogue
 
 	t.Stats.GuestInsnsBBM += rstats.GuestInsnsBB
 	t.Stats.GuestInsnsSBM += rstats.GuestInsnsSB
@@ -407,11 +473,11 @@ func (t *TOL) execBlock(blk *codecache.Block) (RunResult, bool, error) {
 			return RunResult{}, false, nil
 		}
 		// Attempt to chain the taken exit to an existing translation.
-		t.Overhead.Charge(OvChaining, c.ChainAttempt)
+		t.ov[OvChaining] += c.ChainAttempt
 		if src, ok := t.Cache.Get(res.Block.ID); ok {
 			if dst, ok2 := t.Cache.Lookup(res.NextPC); ok2 {
 				if err := t.Cache.Chain(src, res.ExitIdx, dst); err == nil {
-					t.Overhead.Charge(OvChaining, c.ChainPatch)
+					t.ov[OvChaining] += c.ChainPatch
 				}
 			}
 		}
@@ -420,10 +486,10 @@ func (t *TOL) execBlock(blk *codecache.Block) (RunResult, bool, error) {
 		if t.Cfg.DisableChaining {
 			return RunResult{}, false, nil
 		}
-		t.Overhead.Charge(OvChaining, c.ChainAttempt)
+		t.ov[OvChaining] += c.ChainAttempt
 		if dst, ok := t.Cache.Lookup(res.NextPC); ok {
 			t.IBTC.Insert(res.NextPC, dst.ID)
-			t.Overhead.Charge(OvChaining, c.IBTCInsert)
+			t.ov[OvChaining] += c.IBTCInsert
 		}
 		return RunResult{}, false, nil
 	case hostvm.ExitAssertFail:
@@ -458,7 +524,7 @@ func (t *TOL) promote(entry uint32) error {
 	if err != nil {
 		return err
 	}
-	opts := t.sbOpts[entry]
+	opts := t.profOpts(entry)
 	if t.SBCfg.NoAsserts {
 		opts.noAsserts = true
 	}
@@ -467,7 +533,7 @@ func (t *TOL) promote(entry uint32) error {
 		return err
 	}
 	c := &t.Cfg.Costs
-	t.Overhead.Charge(OvSBTrans, c.SBTransFixed+c.SBTransPerInsn*uint64(blk.GuestInsns))
+	t.ov[OvSBTrans] += c.SBTransFixed + c.SBTransPerInsn*uint64(blk.GuestInsns)
 	if t.Cache.Insert(blk) {
 		t.IBTC.Flush()
 	}
@@ -484,9 +550,8 @@ func (t *TOL) promote(entry uint32) error {
 // rebuild recreates a superblock with reduced speculation.
 func (t *TOL) rebuild(blk *codecache.Block, adjust func(*sbOptions)) error {
 	entry := blk.Entry
-	o := t.sbOpts[entry]
-	adjust(&o)
-	t.sbOpts[entry] = o
+	p := t.prof1(entry)
+	adjust(&p.sbOpts)
 	if _, ok := t.Cache.Get(blk.ID); ok {
 		t.Cache.Invalidate(blk)
 	}

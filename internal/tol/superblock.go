@@ -185,6 +185,15 @@ func (t *TOL) translateSuperblock(plan *sbPlan, opts sbOptions) (*codecache.Bloc
 	if err != nil {
 		return nil, st, err
 	}
+	lo, hi := plan.entry, plan.entry
+	for _, step := range plan.steps {
+		if step.bb.entry < lo {
+			lo = step.bb.entry
+		}
+		if step.bb.nextPC > hi {
+			hi = step.bb.nextPC
+		}
+	}
 	blk := &codecache.Block{
 		Entry:      plan.entry,
 		Kind:       codecache.KindSuperblock,
@@ -193,6 +202,8 @@ func (t *TOL) translateSuperblock(plan *sbPlan, opts sbOptions) (*codecache.Bloc
 		Unrolled:   plan.unrolled,
 		GuestInsns: staticInsns,
 		BBs:        bbs,
+		GuestLo:    lo,
+		GuestHi:    hi,
 		ExitMeta:   convertMeta(gen.ExitMeta),
 	}
 	return blk, st, nil

@@ -236,7 +236,7 @@ func evaluate(ctx context.Context, im *guest.Image, cfg Config, cand Candidate, 
 
 		// Heuristic input: how well does the warmed TOL's execution
 		// distribution match the authoritative prefix distribution?
-		sim += cosine(ctl.CoD.BBFreq, authDist[si])
+		sim += cosine(ctl.CoD.BBFreqSnapshot(), authDist[si])
 
 		// Measurement phase: original thresholds, timing attached.
 		ctl.CoD.SetThresholds(bb, sb)

@@ -1,0 +1,30 @@
+package workload
+
+import (
+	"sync"
+
+	"darco/internal/guest"
+)
+
+// imageCache memoizes generated workload images by their full profile
+// (Profile is a comparable value type, so the profile itself — scale
+// already folded in — is the key). Generation is deterministic, and a
+// loaded image is read-only, so one image can back any number of
+// concurrent sessions. Campaign sweeps and the benchmark harness
+// regenerate identical images constantly; this drops that cost to one
+// Generate per distinct profile per process.
+var imageCache sync.Map // Profile -> *guest.Image
+
+// CachedImage returns the generated image for p, generating it at most
+// once per process. Callers must treat the image as immutable.
+func CachedImage(p Profile) (*guest.Image, error) {
+	if im, ok := imageCache.Load(p); ok {
+		return im.(*guest.Image), nil
+	}
+	im, err := p.Generate()
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := imageCache.LoadOrStore(p, im)
+	return actual.(*guest.Image), nil
+}

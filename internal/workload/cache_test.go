@@ -1,0 +1,42 @@
+package workload
+
+import "testing"
+
+func TestCachedImageMemoizes(t *testing.T) {
+	p, ok := ByName("429.mcf")
+	if !ok {
+		t.Fatal("roster missing 429.mcf")
+	}
+	a, err := CachedImage(p.Scale(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedImage(p.Scale(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same profile+scale must return the memoized image")
+	}
+	c, err := CachedImage(p.Scale(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different scales must not share an image")
+	}
+	// The cached image matches a fresh generation exactly.
+	fresh, err := p.Scale(0.5).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Entry != fresh.Entry || len(a.Segments) != len(fresh.Segments) {
+		t.Fatalf("cached image diverges from fresh generation")
+	}
+	for i := range a.Segments {
+		if a.Segments[i].Addr != fresh.Segments[i].Addr ||
+			string(a.Segments[i].Data) != string(fresh.Segments[i].Data) {
+			t.Fatalf("segment %d differs", i)
+		}
+	}
+}
