@@ -53,6 +53,7 @@ type campaignConfig struct {
 	parallelism int
 	timeout     time.Duration
 	failFast    bool
+	onDone      func(i int, sr *ScenarioResult)
 }
 
 // WithParallelism bounds the campaign worker pool to n concurrent
@@ -73,6 +74,18 @@ func WithScenarioTimeout(d time.Duration) CampaignOption {
 // report.
 func WithFailFast() CampaignOption {
 	return func(c *campaignConfig) { c.failFast = true }
+}
+
+// WithScenarioDone streams per-scenario outcomes as workers finish:
+// fn runs exactly once per scenario — including failed and
+// never-started ones — with the scenario's index in the campaign's
+// scenario order. Calls are serialized under a campaign-internal
+// mutex, so fn need not be concurrency-safe, but they arrive in
+// completion order; exporters that need scenario order (darco/export's
+// streaming writers) reorder on the index. fn runs on worker
+// goroutines: a slow callback stalls that worker's scenario pipeline.
+func WithScenarioDone(fn func(i int, sr *ScenarioResult)) CampaignOption {
+	return func(c *campaignConfig) { c.onDone = fn }
 }
 
 // ScenarioResult is one scenario's outcome.
@@ -188,6 +201,15 @@ func (e *Engine) RunCampaign(ctx context.Context, scenarios []Scenario, opts ...
 
 	start := time.Now()
 	var wg sync.WaitGroup
+	var doneMu sync.Mutex
+	done := func(i int) {
+		if cc.onDone == nil {
+			return
+		}
+		doneMu.Lock()
+		defer doneMu.Unlock()
+		cc.onDone(i, &rep.Results[i])
+	}
 	for w := 0; w < cc.parallelism; w++ {
 		wg.Add(1)
 		go func() {
@@ -196,12 +218,14 @@ func (e *Engine) RunCampaign(ctx context.Context, scenarios []Scenario, opts ...
 				if err := ctx.Err(); err != nil {
 					rep.Results[i] = ScenarioResult{Scenario: scenarios[i],
 						Err: fmt.Errorf("%s: not started: %w", scenarios[i].name(), err)}
+					done(i)
 					continue
 				}
 				rep.Results[i] = e.runScenario(ctx, scenarios[i], &cc)
 				if rep.Results[i].Err != nil && cc.failFast {
 					cancel()
 				}
+				done(i)
 			}
 		}()
 	}

@@ -10,12 +10,18 @@
 //	darco-bench -exp fig4 -scale 1.0 -par 8
 //	darco-bench -exp warmup -bench 429.mcf
 //	darco-bench -json . -scale 0.5
+//	darco-bench -exp fig4 -csv out.csv -html dash.html
 //
 // -json writes a BENCH_<n>.json perf-trajectory snapshot (ns/op,
 // allocs/op and the headline metrics for the Table-Speed and Fig. 4–7
 // benches) into the given directory, numbered after the highest
 // existing snapshot. Committing one per perf-relevant PR gives the
 // repository a benchmark trajectory to compare against.
+//
+// -csv and -html export the suite campaign through darco/export: -csv
+// streams one row per benchmark as workers finish (scenario order,
+// deterministic counters plus wall-clock columns), -html writes the
+// self-contained static dashboard with the paper's Fig. 4–7 views.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	darco "darco"
+	"darco/export"
 	"darco/internal/experiments"
 	"darco/internal/warmup"
 	"darco/internal/workload"
@@ -43,6 +50,8 @@ func main() {
 		scenarioTO = flag.Duration("scenario-timeout", 0, "per-benchmark timeout (0 = none)")
 		report     = flag.Bool("report", false, "print the campaign report (per-benchmark wall times)")
 		jsonDir    = flag.String("json", "", "write a BENCH_<n>.json perf snapshot into this directory and exit")
+		csvPath    = flag.String("csv", "", "stream the suite campaign as CSV to this file")
+		htmlPath   = flag.String("html", "", "write the suite campaign's static HTML dashboard to this file")
 	)
 	flag.Parse()
 
@@ -71,11 +80,12 @@ func main() {
 		return
 	}
 
-	needSuites := false
+	needFigs := false
 	switch *exp {
 	case "fig4", "fig5", "fig6", "fig7", "all":
-		needSuites = true
+		needFigs = true
 	}
+	needSuites := needFigs || *csvPath != "" || *htmlPath != ""
 
 	var rs []experiments.BenchResult
 	if needSuites {
@@ -84,18 +94,63 @@ func main() {
 		if *scenarioTO > 0 {
 			copts = append(copts, darco.WithScenarioTimeout(*scenarioTO))
 		}
+		// -csv streams: each row is written as its scenario finishes
+		// (in scenario order), not after the whole campaign.
+		var csvFile *os.File
+		var csvStream *export.CSVStream
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				fatalf("csv: %v", err)
+			}
+			csvFile = f
+			stream, err := export.NewCSVStream(f, len(workload.Suites()), export.WithWallTimes())
+			if err != nil {
+				fatalf("csv: %v", err)
+			}
+			csvStream = stream
+			copts = append(copts, darco.WithScenarioDone(stream.Done))
+		}
 		rep, err := experiments.SuiteCampaign(ctx, *scale, darco.DefaultConfig(), copts...)
 		if err != nil {
 			fatalf("suites: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "campaign: %s wall on %d workers (%s serial-equivalent)\n",
 			rep.Wall.Round(time.Millisecond), rep.Parallelism, rep.SerialWall().Round(time.Millisecond))
+		if csvStream != nil {
+			if err := csvStream.Close(); err != nil {
+				fatalf("csv: %v", err)
+			}
+			if err := csvFile.Close(); err != nil {
+				fatalf("csv: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		}
+		if *htmlPath != "" {
+			f, err := os.Create(*htmlPath)
+			if err != nil {
+				fatalf("html: %v", err)
+			}
+			if err := export.WriteHTML(f, rep, export.WithWallTimes()); err != nil {
+				fatalf("html: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("html: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlPath)
+		}
 		if *report {
 			fmt.Print(rep.Format(), "\n")
 		}
-		rs, err = experiments.BenchResults(rep)
-		if err != nil {
-			fatalf("suites: %v", err)
+		// Only the figure builders need the per-benchmark rows, and
+		// only they treat a scenario error as fatal: an export-only run
+		// records failed scenarios as error rows (the CSV status
+		// column) and still succeeds.
+		if needFigs {
+			rs, err = experiments.BenchResults(rep)
+			if err != nil {
+				fatalf("suites: %v", err)
+			}
 		}
 	}
 

@@ -5,39 +5,25 @@
 //
 // A HW/SW co-designed processor couples a simple host core to a software
 // layer — the Translation Optimization Layer (TOL) — that dynamically
-// translates and optimizes guest binaries for the host ISA. DARCO models
-// the whole system:
+// translates and optimizes guest binaries for the host ISA. This package
+// is the public facade over the simulated system, designed around three
+// layers:
 //
-//   - a guest CISC ISA with an authoritative functional emulator
-//     (internal/guest, internal/guestvm),
-//   - a PowerPC-like RISC host ISA and its emulator with the co-design
-//     extensions — asserts, speculative memory, checkpoint/commit
-//     (internal/host, internal/hostvm),
-//   - the TOL with three execution modes (interpretation, basic-block
-//     translation, superblock optimization), an SSA optimizer, DDG-based
-//     scheduling, linear-scan register allocation, chaining and an IBTC
-//     (internal/tol, internal/ir, internal/codecache),
-//   - the controller that synchronizes and validates the co-designed
-//     state against the authoritative emulator (internal/controller),
-//   - a parameterized in-order timing simulator and an event-energy
-//     power model (internal/timing, internal/power),
-//   - synthetic SPEC CPU2006 / Physicsbench workload generators
-//     (internal/workload) and the warm-up simulation methodology of the
-//     paper's case study (internal/warmup).
-//
-// This package is the public facade, designed around three layers:
-//
-//   - Engine: immutable configuration built from functional options.
+//   - Engine: immutable configuration built from functional options
+//     (WithTOL, WithTiming, WithPower, WithObserver, WithRetireStream,
+//     ...).
 //   - Session: one guest program executing on an engine — run it to
 //     completion with Run(ctx), advance it incrementally with Step,
-//     snapshot it at any time, cancel it through the context, and
-//     stream translation/synchronization/progress events to an
-//     Observer.
+//     snapshot it at any time, cancel it through the context, stream
+//     translation/synchronization/progress events to an Observer, and
+//     subscribe to the retired host instruction stream with
+//     SubscribeRetires.
 //   - Campaign: a set of named scenarios (workload profile × config
 //     variant) executed across a bounded worker pool with per-scenario
-//     timeouts and a fail-fast or collect-errors policy, aggregated
-//     into a CampaignReport. Scenario execution is deterministic:
-//     per-scenario statistics are identical at any parallelism.
+//     timeouts, a fail-fast or collect-errors policy, and streaming
+//     per-scenario completion (WithScenarioDone), aggregated into a
+//     CampaignReport. Scenario execution is deterministic: per-scenario
+//     statistics are identical at any parallelism.
 //
 // Run one workload:
 //
@@ -47,8 +33,7 @@
 //		darco.WithTiming(timing.DefaultConfig()),
 //		darco.WithPower(power.DefaultEnergies(), 1000),
 //	)
-//	ses, _ := eng.NewSession(im)
-//	res, err := ses.Run(ctx)
+//	res, _ := eng.Run(ctx, im)
 //	fmt.Println(res.Summary())
 //
 // Regenerate the paper's whole evaluation concurrently:
@@ -57,43 +42,18 @@
 //		darco.WithParallelism(8), darco.WithFailFast())
 //	fmt.Println(rep.Format())
 //
+// Campaign results export to versioned JSON, CSV and a static HTML
+// dashboard through the darco/export package; the compiled Example
+// functions in example_test.go are the tested forms of these snippets.
+//
 // The one-shot darco.Run(im, cfg) facade is deprecated; it remains as a
 // thin wrapper over an Engine/Session pair.
 //
-// # Hot-path design
-//
-// The emulation inner loops are built around flat, index-addressed
-// state instead of hash lookups — the difference between the paper's
-// multi-MIPS functional rates and map-bound ones:
-//
-//   - Guest memory (guestvm.Memory) is a two-level page table: a group
-//     directory of lazily allocated page-pointer slabs, fronted by a
-//     one-entry MRU page cache. Loads and stores pay index arithmetic;
-//     page-straddling accesses and strict-mode faulting are preserved
-//     exactly.
-//   - Instruction decode is memoized per code page in flat arrays
-//     (guestvm.DecodeCache), shared by both functional emulators. The
-//     TOL additionally caches whole decoded basic blocks for its
-//     interpreter, and the authoritative emulator does the same for its
-//     catch-up runs. TOL.InstallPage invalidates the decode and block
-//     caches for the written page (and the straddling predecessor), so
-//     re-installed code pages decode fresh.
-//   - TOL profiling state (interpretation counts, translation
-//     blacklist, rebuild options, execution frequencies) lives in one
-//     profile entry behind a single map lookup per dispatch, and
-//     overhead accounting accumulates per dispatch before being flushed
-//     into the Fig. 7 categories.
-//
-// None of this changes retired-instruction counts: per-scenario Stats
-// are bit-identical to the unoptimized implementation (pinned by
-// TestStatsBitIdenticalToSeed).
-//
-// # Benchmark trajectory
-//
-// `cmd/darco-bench -json <dir>` measures the Table-Speed and Fig. 4–7
-// benches (ns/op, allocs/op, headline metrics) and writes the next
-// numbered BENCH_<n>.json snapshot. One snapshot is committed per
-// perf-relevant PR; comparing snapshots from the same machine gives the
-// repository's performance trajectory. CI runs every benchmark for one
-// iteration so the harness cannot silently rot.
+// README.md covers installation, the command-line tools and the
+// package map; ARCHITECTURE.md documents the simulated system, the
+// flat index-addressed hot-path design (two-level guest memory, decode
+// and basic-block caches, InstallPage invalidation, single-lookup
+// profiling) and the results pipeline (retire stream, campaign
+// exports, the BENCH_<n>.json performance trajectory), along with the
+// determinism contract all of it obeys.
 package darco

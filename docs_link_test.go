@@ -1,0 +1,124 @@
+package darco_test
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMarkdownLinks keeps README.md and ARCHITECTURE.md honest: every
+// inline markdown link must be well-formed, relative targets must
+// exist in the repository, and anchors must resolve to a heading in
+// the target document. It is the CI link check (no network: http(s)
+// URLs are only parsed, not fetched).
+func TestMarkdownLinks(t *testing.T) {
+	for _, file := range []string{"README.md", "ARCHITECTURE.md"} {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v (the docs overhaul ships both)", file, err)
+		}
+		for _, link := range mdLinks(string(data)) {
+			checkLink(t, file, link)
+		}
+	}
+}
+
+type mdLink struct {
+	text, target string
+	line         int
+}
+
+var linkRE = regexp.MustCompile(`\[([^\]]*)\]\(([^)]*)\)`)
+
+// mdLinks extracts inline links outside fenced code blocks.
+func mdLinks(doc string) []mdLink {
+	var out []mdLink
+	inFence := false
+	for i, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			out = append(out, mdLink{text: m[1], target: m[2], line: i + 1})
+		}
+	}
+	return out
+}
+
+func checkLink(t *testing.T, file string, l mdLink) {
+	t.Helper()
+	where := fmt.Sprintf("%s:%d: [%s](%s)", file, l.line, l.text, l.target)
+	if strings.TrimSpace(l.text) == "" {
+		t.Errorf("%s: empty link text", where)
+	}
+	target := strings.TrimSpace(l.target)
+	if target == "" {
+		t.Errorf("%s: empty link target", where)
+		return
+	}
+	if target != l.target || strings.ContainsAny(target, " \t") {
+		t.Errorf("%s: link target contains whitespace", where)
+		return
+	}
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		return // external: parse-only, no network in tests
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	if path == "" {
+		path = file // same-document anchor
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Errorf("%s: target does not exist", where)
+		return
+	}
+	if frag == "" {
+		return
+	}
+	if info.IsDir() || !strings.HasSuffix(path, ".md") {
+		t.Errorf("%s: anchor on a non-markdown target", where)
+		return
+	}
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		t.Errorf("%s: %v", where, err)
+		return
+	}
+	if !hasAnchor(string(doc), frag) {
+		t.Errorf("%s: no heading matches anchor #%s", where, frag)
+	}
+}
+
+// hasAnchor reports whether any heading in doc slugifies (GitHub
+// style: lowercase, punctuation dropped, spaces to hyphens) to frag.
+func hasAnchor(doc, frag string) bool {
+	for _, line := range strings.Split(doc, "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(line, "#")
+		if slugify(heading) == frag {
+			return true
+		}
+	}
+	return false
+}
+
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -66,6 +66,18 @@ func WithObserver(o Observer) Option {
 	return func(e *Engine) { e.observer = o }
 }
 
+// WithRetireStream subscribes sink to the retire stream of every
+// session the engine creates, as if Session.SubscribeRetires were
+// called at session construction. Like observers, retire sinks are not
+// inherited by the per-scenario engines a campaign derives: a sink
+// shared across parallel sessions would have to be concurrency-safe,
+// so scenarios must opt in through their own options.
+func WithRetireStream(sink RetireSink, opts ...RetireOption) Option {
+	return func(e *Engine) {
+		e.retireSinks = append(e.retireSinks, retireSubscription{sink: sink, opts: opts})
+	}
+}
+
 // WithCheckInterval sets how many guest instructions a session retires
 // between cancellation checks and progress snapshots (0 = only at
 // natural synchronization points). Lower values cancel faster but
@@ -79,9 +91,10 @@ func WithCheckInterval(guestInsns uint64) Option {
 // desired) from it. The zero options build the paper-default functional
 // stack with per-syscall validation.
 type Engine struct {
-	cfg      Config
-	observer Observer
-	interval uint64
+	cfg         Config
+	observer    Observer
+	retireSinks []retireSubscription
+	interval    uint64
 }
 
 // NewEngine builds an engine from functional options. The resulting
@@ -155,11 +168,11 @@ func (e *Engine) Run(ctx context.Context, im *guest.Image) (*Result, error) {
 }
 
 // derive builds a new engine that starts from this engine's
-// configuration (minus the observer, which scenario options must opt
-// into explicitly — a shared observer across parallel sessions must be
-// concurrency-safe) and layers opts on top.
+// configuration (minus the observer and retire sinks, which scenario
+// options must opt into explicitly — a shared sink across parallel
+// sessions must be concurrency-safe) and layers opts on top.
 func (e *Engine) derive(opts ...Option) (*Engine, error) {
-	if len(opts) == 0 && e.observer == nil {
+	if len(opts) == 0 && e.observer == nil && len(e.retireSinks) == 0 {
 		return e, nil
 	}
 	all := make([]Option, 0, len(opts)+2)

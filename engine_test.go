@@ -227,7 +227,7 @@ func TestSessionResumesAfterCancellation(t *testing.T) {
 		t.Fatal("session not done after resumed run")
 	}
 	// The resumed run must match a clean one bit for bit.
-	ref, err := darco.Run(im, darco.DefaultConfig())
+	ref, err := eng.Run(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}

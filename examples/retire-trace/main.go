@@ -1,0 +1,89 @@
+// Retire-trace: subscribe to a session's retire stream and watch the
+// co-designed component's host instruction mix evolve as the TOL
+// promotes the workload from interpretation to optimized superblocks.
+//
+// The stream delivers batched retired host instructions interleaved —
+// in retire order — with the synchronization events the controller
+// mediates, on the session's own goroutine. The same feed drives the
+// timing simulator; here it drives a live instruction-mix profile
+// instead, the kind of telemetry a dashboard would plot.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	darco "darco"
+	"darco/internal/workload"
+)
+
+func main() {
+	p, ok := workload.ByName("429.mcf")
+	if !ok {
+		log.Fatal("workload missing")
+	}
+	im, err := p.Scale(0.1).Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := darco.NewEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ses, err := eng.NewSession(im)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Aggregate the stream: a class histogram, memory/branch behavior,
+	// and the interleaved synchronization markers.
+	classes := map[darco.RetireClass]uint64{}
+	var events, taken, branches uint64
+	var syncLines []string
+	ses.SubscribeRetires(func(b darco.RetireBatch) {
+		if b.Sync != nil {
+			if len(syncLines) < 8 {
+				syncLines = append(syncLines, fmt.Sprintf("  seq %-4d %-13s @ %d guest insns",
+					b.Seq, b.Sync.Kind, b.Sync.GuestInsns))
+			}
+			return
+		}
+		events += uint64(len(b.Events))
+		for i := range b.Events {
+			ev := &b.Events[i]
+			classes[ev.Class]++
+			if ev.Class == darco.RetireBranch {
+				branches++
+				if ev.Taken {
+					taken++
+				}
+			}
+		}
+	}, darco.WithRetireBatchSize(8192))
+
+	res, err := ses.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("retire stream of %s: %d host instructions in the application stream\n\n", p.Name, events)
+	fmt.Println("instruction mix:")
+	order := []darco.RetireClass{darco.RetireSimple, darco.RetireComplex, darco.RetireMemory,
+		darco.RetireBranch, darco.RetireVector}
+	for _, c := range order {
+		n := classes[c]
+		pct := 100 * float64(n) / float64(events)
+		fmt.Printf("  %-8s %7.2f%%  %s\n", c, pct, strings.Repeat("#", int(pct/2)))
+	}
+	if branches > 0 {
+		fmt.Printf("\nbranches: %d retired, %.1f%% taken\n", branches, 100*float64(taken)/float64(branches))
+	}
+	fmt.Println("\nfirst synchronization markers in the stream:")
+	for _, l := range syncLines {
+		fmt.Println(l)
+	}
+	fmt.Printf("\nsession: %d guest insns, %d app host insns (stream saw every one: %v)\n",
+		res.Stats.GuestInsns(), res.HostAppInsns, events == res.HostAppInsns)
+}

@@ -1,0 +1,223 @@
+package export_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	darco "darco"
+	"darco/export"
+	"darco/internal/timing"
+	"darco/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedScenarios is the exporter's pinned test campaign: three small
+// workloads, one with the timing simulator attached so the cycles/ipc
+// fields are exercised.
+func fixedScenarios() []darco.Scenario {
+	p1, _ := workload.ByName("429.mcf")
+	p2, _ := workload.ByName("458.sjeng")
+	p3, _ := workload.ByName("470.lbm")
+	return []darco.Scenario{
+		{Name: "429.mcf", Profile: p1, Scale: 0.05},
+		{Name: "458.sjeng", Profile: p2, Scale: 0.05},
+		{Name: "470.lbm-timing", Profile: p3, Scale: 0.05,
+			Options: []darco.Option{darco.WithTiming(timing.DefaultConfig())}},
+	}
+}
+
+func runCampaign(t *testing.T, parallelism int) *darco.CampaignReport {
+	t.Helper()
+	eng, err := darco.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.RunCampaign(context.Background(), fixedScenarios(), darco.WithParallelism(parallelism))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./export -update` to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (run `go test ./export -update` if intended)\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenJSONAndCSVRoundTrip(t *testing.T) {
+	rep := runCampaign(t, 1)
+
+	var jsonBuf bytes.Buffer
+	if err := export.WriteJSON(&jsonBuf, rep); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "campaign_golden.json", jsonBuf.Bytes())
+	if !strings.Contains(jsonBuf.String(), `"schema": 1`) {
+		t.Error("JSON document missing schema version")
+	}
+	if strings.Contains(jsonBuf.String(), "wall_ms") {
+		t.Error("deterministic JSON export leaked wall-clock fields")
+	}
+
+	var csvBuf bytes.Buffer
+	if err := export.WriteCSV(&csvBuf, rep); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "campaign_golden.csv", csvBuf.Bytes())
+	lines := strings.Split(strings.TrimRight(csvBuf.String(), "\n"), "\n")
+	if len(lines) != 1+len(rep.Results) {
+		t.Errorf("CSV has %d lines, want header + %d rows", len(lines), len(rep.Results))
+	}
+}
+
+func TestParallelAndSerialCampaignsExportIdenticalBytes(t *testing.T) {
+	serial := runCampaign(t, 1)
+	parallel := runCampaign(t, 3)
+
+	render := func(rep *darco.CampaignReport) (string, string, string) {
+		var j, c, h bytes.Buffer
+		if err := export.WriteJSON(&j, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := export.WriteCSV(&c, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := export.WriteHTML(&h, rep); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String(), h.String()
+	}
+	js, cs, hs := render(serial)
+	jp, cp, hp := render(parallel)
+	if js != jp {
+		t.Error("JSON export differs between serial and parallel campaigns")
+	}
+	if cs != cp {
+		t.Error("CSV export differs between serial and parallel campaigns")
+	}
+	if hs != hp {
+		t.Error("HTML export differs between serial and parallel campaigns")
+	}
+}
+
+func TestCSVStreamMatchesWholeReportWriter(t *testing.T) {
+	scenarios := fixedScenarios()
+	eng, err := darco.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	stream, err := export.NewCSVStream(&streamed, len(scenarios))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.RunCampaign(context.Background(), scenarios,
+		darco.WithParallelism(3), darco.WithScenarioDone(stream.Done))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var whole bytes.Buffer
+	if err := export.WriteCSV(&whole, rep); err != nil {
+		t.Fatal(err)
+	}
+	if streamed.String() != whole.String() {
+		t.Errorf("streamed CSV differs from whole-report CSV:\n%s\nvs:\n%s", streamed.String(), whole.String())
+	}
+}
+
+func TestFailedScenarioRow(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	rep := &darco.CampaignReport{Results: []darco.ScenarioResult{{
+		Scenario: darco.Scenario{Name: "broken", Profile: p, Scale: 0.05},
+		Err:      errors.New("boom, with \"quotes\" and, commas"),
+	}}}
+	rows := export.Rows(rep)
+	if rows[0].Error == "" || rows[0].GuestInsns != 0 {
+		t.Errorf("failed row not flagged: %+v", rows[0])
+	}
+	var csvBuf bytes.Buffer
+	if err := export.WriteCSV(&csvBuf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvBuf.String(), `"error: boom, with ""quotes"" and, commas"`) {
+		t.Errorf("CSV quoting broken:\n%s", csvBuf.String())
+	}
+	var htmlBuf bytes.Buffer
+	if err := export.WriteHTML(&htmlBuf, rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallTimesOptIn(t *testing.T) {
+	rep := runCampaign(t, 1)
+	var j bytes.Buffer
+	if err := export.WriteJSON(&j, rep, export.WithWallTimes()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"wall_ms", "parallelism", "guest_mips"} {
+		if !strings.Contains(j.String(), want) {
+			t.Errorf("WithWallTimes JSON missing %q", want)
+		}
+	}
+	var c bytes.Buffer
+	if err := export.WriteCSV(&c, rep, export.WithWallTimes()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(c.String(), "\n", 2)[0], "wall_ms") {
+		t.Error("WithWallTimes CSV header missing wall_ms")
+	}
+}
+
+func TestHTMLDashboardContent(t *testing.T) {
+	rep := runCampaign(t, 1)
+	var h bytes.Buffer
+	if err := export.WriteHTML(&h, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := h.String()
+	for _, want := range []string{
+		"<svg", "429.mcf", "470.lbm-timing",
+		"Execution-mode distribution", "TOL overhead breakdown",
+		"prefers-color-scheme: dark", "<table>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	if strings.Contains(out, "src=") || strings.Contains(out, "http://") || strings.Contains(out, "https://") {
+		t.Error("dashboard references external assets; must be self-contained")
+	}
+}

@@ -83,6 +83,14 @@ type Config struct {
 	// OnTick, when non-nil, runs after every CheckInterval-bounded
 	// excursion that did not end the run (a progress heartbeat).
 	OnTick func()
+	// OnExcursion, when non-nil, runs every time a co-designed
+	// excursion returns control to the controller — before the
+	// synchronization (or error) that ended it is processed. The
+	// session layer flushes its retire-stream batch here, so buffered
+	// instruction events are always delivered ahead of the sync events
+	// that follow them in retire order, and no events linger in the
+	// buffer while the controller is outside the co-designed component.
+	OnExcursion func()
 }
 
 // DefaultConfig returns the default controller configuration.
@@ -331,6 +339,9 @@ func (c *Controller) RunContext(ctx context.Context, budget uint64) error {
 			step = iv
 		}
 		res, err := c.CoD.Run(step)
+		if c.Cfg.OnExcursion != nil {
+			c.Cfg.OnExcursion()
+		}
 		if err != nil {
 			return err
 		}

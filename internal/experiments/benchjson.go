@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"maps"
 	"os"
@@ -13,6 +12,7 @@ import (
 	"time"
 
 	darco "darco"
+	"darco/export"
 	"darco/internal/workload"
 )
 
@@ -209,17 +209,18 @@ func NextBenchPath(dir string) (string, error) {
 }
 
 // WriteBenchSnapshot writes snap as the next BENCH_<n>.json in dir and
-// returns the written path.
+// returns the written path. The bytes come from export.EncodeJSON, the
+// shared encoder for every darco JSON artifact (campaign exports and
+// perf snapshots stay diff-friendly the same way).
 func (s *BenchSnapshot) Write(dir string) (string, error) {
 	path, err := NextBenchPath(dir)
 	if err != nil {
 		return "", err
 	}
-	data, err := json.MarshalIndent(s, "", "  ")
+	data, err := export.EncodeJSON(s)
 	if err != nil {
 		return "", err
 	}
-	data = append(data, '\n')
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return "", err
 	}

@@ -211,6 +211,34 @@ type RetireEvent struct {
 // the target of unchained exits.
 const TOLDispatchPC = 0xF000_0000
 
+// TeeRetire composes retire consumers into a single hook for the VM's
+// Retire slot: the returned function forwards every event to each
+// non-nil sink in order. Nil sinks are dropped, so TeeRetire() and
+// TeeRetire(nil) return nil — preserving the no-consumer fast path —
+// and a single surviving sink is returned unwrapped, so attaching only
+// the timing simulator costs exactly what it did before this hook
+// existed.
+func TeeRetire(sinks ...func(RetireEvent)) func(RetireEvent) {
+	live := sinks[:0]
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	fan := append([]func(RetireEvent){}, live...)
+	return func(ev RetireEvent) {
+		for _, s := range fan {
+			s(ev)
+		}
+	}
+}
+
 // blockPC packs a synthetic host address for instruction idx of block
 // id. The per-block stride is deliberately not a multiple of typical
 // cache set spans so consecutive blocks spread across icache sets the

@@ -1,0 +1,238 @@
+package darco
+
+import (
+	"darco/internal/host"
+	"darco/internal/hostvm"
+)
+
+// DefaultRetireBatchSize is how many retired host instructions a
+// session buffers before delivering them as one RetireBatch when the
+// subscriber does not choose a size.
+const DefaultRetireBatchSize = 4096
+
+// RetireClass coarsely classifies a retired host instruction by the
+// execution resource it occupies, for stream consumers that aggregate
+// rather than decode mnemonics.
+type RetireClass uint8
+
+// Retired-instruction classes.
+const (
+	RetireSimple  RetireClass = iota // 1-cycle integer ALU
+	RetireComplex                    // multi-cycle integer and FP
+	RetireMemory                     // loads and stores (incl. TOL spill slots)
+	RetireBranch                     // control flow: branches, exits, chains
+	RetireVector                     // SIMD
+)
+
+func (c RetireClass) String() string {
+	switch c {
+	case RetireSimple:
+		return "simple"
+	case RetireComplex:
+		return "complex"
+	case RetireMemory:
+		return "memory"
+	case RetireBranch:
+		return "branch"
+	case RetireVector:
+		return "vector"
+	}
+	return "?"
+}
+
+// RetireEvent is one retired host instruction of the co-designed
+// component's application stream — the same per-instruction feed the
+// timing simulator consumes. PC and Target are synthetic host
+// addresses (code-cache block id and instruction index packed);
+// GuestPC is the guest instruction this host instruction emulates.
+type RetireEvent struct {
+	Op      string // host mnemonic
+	Class   RetireClass
+	GuestPC uint32
+	PC      uint32
+	Target  uint32 // branch target, valid when Taken
+	Addr    uint32 // effective address, valid for loads and stores
+	Taken   bool
+	Load    bool
+	Store   bool
+}
+
+// RetireBatch is one delivery on a session's retire stream: either a
+// run of retired host instructions (Events non-empty, Sync nil) or a
+// synchronization marker (Sync non-nil, Events nil) positioned exactly
+// where it occurred in retire order. Seq numbers deliveries
+// contiguously from 0 per session.
+//
+// The Events slice is reused between deliveries: it is valid only for
+// the duration of the callback, so a sink that retains events must
+// copy them out.
+type RetireBatch struct {
+	Seq    uint64
+	Events []RetireEvent
+	Sync   *SyncEvent
+}
+
+// RetireSink consumes retire-stream batches. Sinks run synchronously
+// on the session's goroutine, in retire order; a slow sink slows the
+// session rather than dropping events.
+type RetireSink func(RetireBatch)
+
+// RetireOption configures one retire-stream subscription.
+type RetireOption func(*retireSubConfig)
+
+type retireSubConfig struct {
+	batchSize int
+}
+
+// WithRetireBatchSize sets how many instruction events accumulate
+// before the subscription's session flushes a batch (values < 1 mean
+// DefaultRetireBatchSize). A session with several subscribers batches
+// at the smallest size any of them requested; every subscriber sees
+// the same deliveries.
+func WithRetireBatchSize(n int) RetireOption {
+	return func(c *retireSubConfig) { c.batchSize = n }
+}
+
+// retireSubscription is a sink plus its options, recorded on the
+// engine by WithRetireStream and replayed onto every new session.
+type retireSubscription struct {
+	sink RetireSink
+	opts []RetireOption
+}
+
+// retireStream owns a session's retire-stream state: the active
+// subscribers, the shared event buffer, and the delivery sequence.
+// Everything runs on the session's goroutine.
+type retireStream struct {
+	subs  []*retireSub
+	batch []RetireEvent
+	limit int
+	seq   uint64
+}
+
+type retireSub struct {
+	sink      RetireSink
+	batchSize int
+	active    bool
+}
+
+// add registers a sink and returns its handle.
+func (st *retireStream) add(sink RetireSink, opts ...RetireOption) *retireSub {
+	cfg := retireSubConfig{batchSize: DefaultRetireBatchSize}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.batchSize < 1 {
+		cfg.batchSize = DefaultRetireBatchSize
+	}
+	sub := &retireSub{sink: sink, batchSize: cfg.batchSize, active: true}
+	st.subs = append(st.subs, sub)
+	st.relimit()
+	return sub
+}
+
+// remove deactivates a sink's subscription. The survivors go into a
+// fresh slice — never compacted in place — because remove may run from
+// inside a sink while deliver is ranging over the current one.
+func (st *retireStream) remove(sub *retireSub) {
+	if !sub.active {
+		return
+	}
+	sub.active = false
+	live := make([]*retireSub, 0, len(st.subs)-1)
+	for _, s := range st.subs {
+		if s.active {
+			live = append(live, s)
+		}
+	}
+	st.subs = live
+	st.relimit()
+}
+
+// relimit recomputes the flush threshold (the smallest subscriber
+// batch size) after a subscribe or unsubscribe.
+func (st *retireStream) relimit() {
+	st.limit = 0
+	for _, s := range st.subs {
+		if st.limit == 0 || s.batchSize < st.limit {
+			st.limit = s.batchSize
+		}
+	}
+}
+
+func (st *retireStream) hasSubs() bool { return len(st.subs) > 0 }
+
+// push converts one hostvm retire event to the public form and buffers
+// it, flushing when the batch threshold is reached. It is the
+// session's VM.Retire feed (tee'd with the timing simulator's), so it
+// only runs at all when a subscriber is attached.
+func (st *retireStream) push(ev hostvm.RetireEvent) {
+	d := ev.Inst.Op.Desc()
+	pub := RetireEvent{
+		Op:      d.Name,
+		Class:   retireClass(d.Class),
+		GuestPC: ev.Inst.GPC,
+		PC:      ev.PC,
+		Target:  ev.Target,
+		Addr:    ev.Addr,
+		Taken:   ev.Taken,
+		Load:    d.IsLoad,
+		Store:   d.IsStore,
+	}
+	st.batch = append(st.batch, pub)
+	if len(st.batch) >= st.limit {
+		st.flush()
+	}
+}
+
+// flush delivers the buffered instruction events as one batch and
+// resets the buffer for reuse.
+func (st *retireStream) flush() {
+	if len(st.batch) == 0 {
+		return
+	}
+	b := RetireBatch{Seq: st.seq, Events: st.batch}
+	st.deliver(b)
+	st.batch = st.batch[:0]
+}
+
+// sync flushes pending instruction events, then delivers ev as a
+// marker batch, preserving retire order.
+func (st *retireStream) sync(ev SyncEvent) {
+	st.flush()
+	st.deliver(RetireBatch{Seq: st.seq, Sync: &ev})
+}
+
+// deliver hands one batch to every active subscriber and advances the
+// sequence. It iterates a snapshot of the subscriber list: a sink may
+// subscribe or unsubscribe during the callback (both swap in fresh
+// slices), and the active flag keeps a just-removed subscriber from
+// hearing the rest of this batch's fan-out.
+func (st *retireStream) deliver(b RetireBatch) {
+	subs := st.subs
+	for _, s := range subs {
+		if s.active {
+			s.sink(b)
+		}
+	}
+	st.seq++
+}
+
+// retireClass maps the internal execution-resource class to the public
+// one explicitly, so a reordered internal enum cannot silently
+// mislabel public events.
+func retireClass(c host.Class) RetireClass {
+	switch c {
+	case host.ClassSimple:
+		return RetireSimple
+	case host.ClassComplex:
+		return RetireComplex
+	case host.ClassMemory:
+		return RetireMemory
+	case host.ClassBranch:
+		return RetireBranch
+	case host.ClassVector:
+		return RetireVector
+	}
+	return RetireSimple
+}

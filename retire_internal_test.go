@@ -1,0 +1,67 @@
+package darco
+
+import (
+	"testing"
+
+	"darco/internal/timing"
+	"darco/internal/workload"
+)
+
+// TestRetireHookZeroCostWithoutSubscriber pins the acceptance property
+// behind BenchmarkTableSpeedFunctional: a session with no retire
+// subscriber must leave the VM's retire slot exactly what the timing
+// configuration dictates — nil on the functional stack, the timing
+// consumer alone with a simulator attached — so the retirement fast
+// path never materializes events.
+func TestRetireHookZeroCostWithoutSubscriber(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	im, err := workload.CachedImage(p.Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := eng.NewSession(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ses.ctl.CoD.VM.Retire != nil {
+		t.Error("functional session has a retire consumer without a subscriber")
+	}
+	if ses.ctl.Cfg.OnExcursion != nil || ses.ctl.Cfg.OnSync != nil {
+		t.Error("controller hooks installed without an observer or subscriber")
+	}
+
+	// Subscribing installs the hooks; unsubscribing restores the fast
+	// path.
+	cancel := ses.SubscribeRetires(func(RetireBatch) {})
+	if ses.ctl.CoD.VM.Retire == nil || ses.ctl.Cfg.OnExcursion == nil || ses.ctl.Cfg.OnSync == nil {
+		t.Error("subscription did not install the retire hooks")
+	}
+	cancel()
+	if ses.ctl.CoD.VM.Retire != nil || ses.ctl.Cfg.OnExcursion != nil || ses.ctl.Cfg.OnSync != nil {
+		t.Error("unsubscribe did not restore the no-consumer fast path")
+	}
+
+	// With a timing simulator the retire slot is the consumer itself,
+	// not a tee wrapper (TeeRetire returns a single live sink
+	// unwrapped); nothing observable distinguishes it from the
+	// pre-stream wiring.
+	tEng, err := NewEngine(WithTiming(timing.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tSes, err := tEng.NewSession(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tSes.ctl.CoD.VM.Retire == nil {
+		t.Error("timing session lost its retire consumer")
+	}
+	if tSes.ctl.Cfg.OnExcursion != nil {
+		t.Error("timing-only session installed the stream flush hook")
+	}
+}

@@ -1,0 +1,302 @@
+package darco_test
+
+import (
+	"context"
+	"testing"
+
+	darco "darco"
+	"darco/internal/timing"
+	"darco/internal/workload"
+)
+
+// streamTally accumulates everything a retire subscription delivered.
+type streamTally struct {
+	events      uint64
+	batches     int
+	maxBatch    int
+	nextSeq     uint64
+	seqGap      bool
+	syncs       map[darco.SyncKind]int
+	loads       uint64
+	stores      uint64
+	classCounts map[darco.RetireClass]uint64
+	digest      uint64
+}
+
+func newStreamTally() *streamTally {
+	return &streamTally{syncs: make(map[darco.SyncKind]int), classCounts: make(map[darco.RetireClass]uint64)}
+}
+
+func (t *streamTally) sink(b darco.RetireBatch) {
+	if b.Seq != t.nextSeq {
+		t.seqGap = true
+	}
+	t.nextSeq = b.Seq + 1
+	t.batches++
+	if b.Sync != nil {
+		t.syncs[b.Sync.Kind]++
+		t.digest = t.digest*1099511628211 + uint64(b.Sync.Kind) + b.Sync.GuestInsns
+		return
+	}
+	t.events += uint64(len(b.Events))
+	if len(b.Events) > t.maxBatch {
+		t.maxBatch = len(b.Events)
+	}
+	for i := range b.Events {
+		ev := &b.Events[i]
+		if ev.Load {
+			t.loads++
+		}
+		if ev.Store {
+			t.stores++
+		}
+		t.classCounts[ev.Class]++
+		t.digest = t.digest*1099511628211 + uint64(ev.PC)<<32 + uint64(ev.Addr) + uint64(ev.GuestPC)
+	}
+}
+
+func TestRetireStreamAccountsEveryAppInstruction(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	im, err := p.Scale(0.05).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := darco.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := eng.NewSession(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally := newStreamTally()
+	ses.SubscribeRetires(tally.sink, darco.WithRetireBatchSize(1000))
+	res, err := ses.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.events != res.HostAppInsns {
+		t.Errorf("streamed %d events, session retired %d app host insns", tally.events, res.HostAppInsns)
+	}
+	if tally.seqGap {
+		t.Error("batch sequence numbers not contiguous")
+	}
+	if tally.maxBatch > 1000 {
+		t.Errorf("batch of %d events exceeds requested size 1000", tally.maxBatch)
+	}
+	if got, want := tally.syncs[darco.SyncSyscall], int(res.SyscallSyncs); got != want {
+		t.Errorf("syscall markers %d, syncs %d", got, want)
+	}
+	if got, want := tally.syncs[darco.SyncValidation], int(res.Validations); got != want {
+		t.Errorf("validation markers %d, validations %d", got, want)
+	}
+	if got, want := tally.syncs[darco.SyncPageTransfer], int(res.PageTransfers); got != want {
+		t.Errorf("page markers %d, transfers %d", got, want)
+	}
+	if got := tally.syncs[darco.SyncFinal]; got != 1 {
+		t.Errorf("final markers %d", got)
+	}
+	if tally.loads == 0 || tally.stores == 0 {
+		t.Errorf("no memory traffic in stream: %d loads, %d stores", tally.loads, tally.stores)
+	}
+	if tally.classCounts[darco.RetireBranch] == 0 || tally.classCounts[darco.RetireSimple] == 0 {
+		t.Errorf("class mix empty: %v", tally.classCounts)
+	}
+}
+
+func TestRetireStreamDeterministicAcrossRuns(t *testing.T) {
+	p, _ := workload.ByName("458.sjeng")
+	im, err := p.Scale(0.05).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := func() uint64 {
+		eng, err := darco.NewEngine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ses, err := eng.NewSession(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tally := newStreamTally()
+		ses.SubscribeRetires(tally.sink)
+		if _, err := ses.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return tally.digest
+	}
+	if a, b := digest(), digest(); a != b {
+		t.Errorf("retire streams differ across identical runs: %#x vs %#x", a, b)
+	}
+}
+
+func TestRetireStreamDoesNotPerturbTiming(t *testing.T) {
+	p, _ := workload.ByName("470.lbm")
+	im, err := p.Scale(0.05).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(subscribe bool) *darco.Result {
+		eng, err := darco.NewEngine(darco.WithTiming(timing.DefaultConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ses, err := eng.NewSession(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if subscribe {
+			ses.SubscribeRetires(func(darco.RetireBatch) {})
+		}
+		res, err := ses.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, subscribed := run(false), run(true)
+	if plain.Timing.Cycles != subscribed.Timing.Cycles {
+		t.Errorf("subscription changed timing: %d vs %d cycles", plain.Timing.Cycles, subscribed.Timing.Cycles)
+	}
+	if plain.Stats != subscribed.Stats {
+		t.Errorf("subscription changed functional stats")
+	}
+}
+
+func TestRetireStreamSubscribeAndUnsubscribeMidSession(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	im, err := p.Scale(0.05).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := darco.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := eng.NewSession(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Phase 1: no subscriber.
+	first, err := ses.Step(ctx, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ses.Done() {
+		t.Skip("workload too short for an incremental step")
+	}
+
+	// Phase 2: subscribed for one step.
+	tally := newStreamTally()
+	cancel := ses.SubscribeRetires(tally.sink)
+	second, err := ses.Step(ctx, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase2 := tally.events
+
+	// Phase 3: unsubscribed to completion.
+	cancel()
+	cancel() // idempotent
+	final, err := ses.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := second.HostAppInsns - first.HostAppInsns; phase2 != want {
+		t.Errorf("subscribed step streamed %d events, retired %d app insns", phase2, want)
+	}
+	if tally.events != phase2 {
+		t.Errorf("events delivered after unsubscribe: %d -> %d", phase2, tally.events)
+	}
+	if final.HostAppInsns <= second.HostAppInsns {
+		t.Error("no progress after unsubscribe")
+	}
+}
+
+func TestUnsubscribeFromInsideSink(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	im, err := p.Scale(0.05).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := darco.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := eng.NewSession(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three subscribers; the first stops itself after two deliveries
+	// from inside its own callback. The others must keep seeing every
+	// delivery exactly once.
+	var aBatches int
+	var cancelA func()
+	cancelA = ses.SubscribeRetires(func(b darco.RetireBatch) {
+		aBatches++
+		if aBatches == 2 {
+			cancelA()
+		}
+	})
+	tallyB := newStreamTally()
+	tallyC := newStreamTally()
+	ses.SubscribeRetires(tallyB.sink)
+	ses.SubscribeRetires(tallyC.sink)
+	res, err := ses.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aBatches != 2 {
+		t.Errorf("self-cancelled sink heard %d batches after unsubscribing at 2", aBatches)
+	}
+	if tallyB.seqGap || tallyC.seqGap {
+		t.Error("surviving subscribers skipped or repeated a delivery")
+	}
+	if tallyB.events != res.HostAppInsns || tallyC.events != res.HostAppInsns {
+		t.Errorf("survivors saw %d/%d events, session retired %d",
+			tallyB.events, tallyC.events, res.HostAppInsns)
+	}
+}
+
+func TestWithRetireStreamEngineOption(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	im, err := p.Scale(0.05).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally := newStreamTally()
+	eng, err := darco.NewEngine(darco.WithRetireStream(tally.sink, darco.WithRetireBatchSize(512)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.events != res.HostAppInsns {
+		t.Errorf("engine-level sink saw %d events, session retired %d", tally.events, res.HostAppInsns)
+	}
+	if tally.maxBatch > 512 {
+		t.Errorf("batch of %d exceeds requested 512", tally.maxBatch)
+	}
+
+	// Campaigns must not inherit the engine's sink: parallel scenarios
+	// would hammer it concurrently. The sink's counters are only
+	// touched if inheritance leaks, which the race detector would also
+	// flag.
+	before := tally.events
+	scenarios := []darco.Scenario{{Name: "a", Profile: p, Scale: 0.05}, {Name: "b", Profile: p, Scale: 0.05}}
+	rep, err := eng.RunCampaign(context.Background(), scenarios, darco.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if tally.events != before {
+		t.Errorf("campaign scenarios leaked %d events into the engine-level sink", tally.events-before)
+	}
+}

@@ -41,6 +41,11 @@ type Config struct {
 
 // DefaultConfig is a functional-only run with paper-default TOL
 // parameters and per-syscall validation.
+//
+// New code should not need it: a zero-option NewEngine() builds the
+// same stack, and WithTOL/WithTiming/WithPower/WithValidation express
+// every refinement. DefaultConfig remains supported as the base value
+// for code that assembles a Config to pass through WithConfig.
 func DefaultConfig() Config {
 	return Config{TOL: tol.DefaultConfig(), ValidateEveryNSyncs: 1}
 }
@@ -91,10 +96,18 @@ type Result struct {
 
 // Run executes the guest image on the full DARCO stack.
 //
-// Deprecated: Run is a thin wrapper over the Engine/Session API. Use
-// NewEngine with functional options plus Session.Run (or Engine.Run)
-// for cancellation, incremental stepping, streaming observation and
-// campaigns.
+// Deprecated: Run is a legacy wrapper over the Engine/Session API and
+// will be removed once nothing in the repository exercises its legacy
+// semantics. It cannot be cancelled, stepped, observed, subscribed to
+// or campaigned over. Migrate:
+//
+//	eng, err := darco.NewEngine(darco.WithConfig(cfg))
+//	res, err := eng.Run(ctx, im)
+//
+// or, for the default stack, darco.NewEngine() with no options. The
+// wrapper also preserves two pre-Engine quirks new code must not rely
+// on: power without timing is silently dropped, and a zero frequency
+// silently means 1000 MHz (NewEngine rejects both).
 func Run(im *guest.Image, cfg Config) (*Result, error) {
 	// Legacy semantics the stricter NewEngine validation would reject:
 	// power without timing was silently ignored, and a zero frequency

@@ -1,10 +1,14 @@
 package darco_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	darco "darco"
+	"darco/internal/power"
+	"darco/internal/timing"
+	"darco/internal/tol"
 	"darco/internal/workload"
 )
 
@@ -14,7 +18,11 @@ func TestRunFunctional(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := darco.Run(im, darco.DefaultConfig())
+	eng, err := darco.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +59,14 @@ func TestRunWithTimingAndPower(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := darco.Run(im, darco.FullConfig())
+	eng, err := darco.NewEngine(
+		darco.WithTiming(timing.DefaultConfig()),
+		darco.WithPower(power.DefaultEnergies(), 1000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +93,15 @@ func TestRunDeterministicAcrossRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := darco.Run(im, darco.DefaultConfig())
+	eng, err := darco.NewEngine()
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := darco.Run(im, darco.DefaultConfig())
+	a, err := eng.Run(context.Background(), im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Run(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,15 +119,23 @@ func TestThresholdSweepShiftsModes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	low := darco.DefaultConfig()
-	low.TOL.SBThreshold = 20
-	high := darco.DefaultConfig()
-	high.TOL.SBThreshold = 100_000 // effectively never promote
-	rl, err := darco.Run(im, low)
+	low := tol.DefaultConfig()
+	low.SBThreshold = 20
+	high := tol.DefaultConfig()
+	high.SBThreshold = 100_000 // effectively never promote
+	engLow, err := darco.NewEngine(darco.WithTOL(low))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rh, err := darco.Run(im, high)
+	engHigh, err := darco.NewEngine(darco.WithTOL(high))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := engLow.Run(context.Background(), im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := engHigh.Run(context.Background(), im)
 	if err != nil {
 		t.Fatal(err)
 	}

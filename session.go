@@ -7,6 +7,7 @@ import (
 
 	"darco/internal/controller"
 	"darco/internal/guest"
+	"darco/internal/hostvm"
 	"darco/internal/power"
 	"darco/internal/timing"
 	"darco/internal/tol"
@@ -18,9 +19,10 @@ import (
 // context was cancelled stays consistent and can be resumed with a
 // fresh context; any other error is terminal.
 type Session struct {
-	eng  *Engine
-	ctl  *controller.Controller
-	core *timing.Core
+	eng    *Engine
+	ctl    *controller.Controller
+	core   *timing.Core
+	stream retireStream
 
 	wall      time.Duration
 	stepStart time.Time // non-zero only while inside Step
@@ -40,7 +42,7 @@ func (e *Engine) NewSession(im *guest.Image) (*Session, error) {
 	}
 	if obs := e.observer; obs != nil {
 		ctlCfg.TOL.OnTranslation = func(ev tol.TranslationEvent) { obs.OnTranslation(translationEvent(ev)) }
-		ctlCfg.OnSync = func(ev controller.SyncEvent) { obs.OnSync(syncEvent(ev)) }
+		ctlCfg.OnSync = s.onSync
 		ctlCfg.OnTick = func() { obs.OnProgress(s.progress()) }
 	}
 	ctl, err := controller.New(im, ctlCfg)
@@ -50,9 +52,67 @@ func (e *Engine) NewSession(im *guest.Image) (*Session, error) {
 	s.ctl = ctl
 	if e.cfg.Timing != nil {
 		s.core = timing.New(*e.cfg.Timing)
-		ctl.CoD.VM.Retire = s.core.Consume
+	}
+	s.installRetireHooks()
+	for _, sub := range e.retireSinks {
+		s.SubscribeRetires(sub.sink, sub.opts...)
 	}
 	return s, nil
+}
+
+// SubscribeRetires attaches sink to the session's retire stream: the
+// co-designed component's retired host instructions delivered in
+// batches, interleaved in retire order with the synchronization events
+// the controller mediates. The returned function unsubscribes.
+//
+// Subscribe, unsubscribe and delivery all happen on the session's
+// goroutine: subscribe before running, or between Steps, and the
+// stream picks up (or stops) at that execution point. A session with
+// no subscribers pays nothing on the retirement hot path — the VM's
+// retire hook stays exactly what the timing configuration dictates.
+func (s *Session) SubscribeRetires(sink RetireSink, opts ...RetireOption) (unsubscribe func()) {
+	sub := s.stream.add(sink, opts...)
+	s.installRetireHooks()
+	return func() {
+		s.stream.remove(sub)
+		s.installRetireHooks()
+	}
+}
+
+// installRetireHooks points the VM's retire slot and the controller's
+// sync/excursion hooks at what the session currently needs: the timing
+// feed alone (or nothing) when no retire subscriber is attached, the
+// tee of timing feed and stream otherwise.
+func (s *Session) installRetireHooks() {
+	var timingFn func(hostvm.RetireEvent)
+	if s.core != nil {
+		timingFn = s.core.Consume
+	}
+	if s.stream.hasSubs() {
+		s.ctl.CoD.VM.Retire = hostvm.TeeRetire(timingFn, s.stream.push)
+		s.ctl.Cfg.OnSync = s.onSync
+		s.ctl.Cfg.OnExcursion = s.stream.flush
+		return
+	}
+	s.ctl.CoD.VM.Retire = timingFn
+	s.ctl.Cfg.OnExcursion = nil
+	if s.eng.observer != nil {
+		s.ctl.Cfg.OnSync = s.onSync
+	} else {
+		s.ctl.Cfg.OnSync = nil
+	}
+}
+
+// onSync fans one controller synchronization event out to the engine's
+// observer and the retire stream's subscribers.
+func (s *Session) onSync(ev controller.SyncEvent) {
+	pub := syncEvent(ev)
+	if obs := s.eng.observer; obs != nil {
+		obs.OnSync(pub)
+	}
+	if s.stream.hasSubs() {
+		s.stream.sync(pub)
+	}
 }
 
 // Run drives the session to completion and returns the final result.
