@@ -53,7 +53,8 @@ type campaignConfig struct {
 	parallelism int
 	timeout     time.Duration
 	failFast    bool
-	onDone      func(i int, sr *ScenarioResult)
+	onDone      []func(i int, sr *ScenarioResult)
+	onSession   []func(i int, sc *Scenario, s *Session)
 }
 
 // WithParallelism bounds the campaign worker pool to n concurrent
@@ -84,8 +85,28 @@ func WithFailFast() CampaignOption {
 // completion order; exporters that need scenario order (darco/export's
 // streaming writers) reorder on the index. fn runs on worker
 // goroutines: a slow callback stalls that worker's scenario pipeline.
+// The option composes: every WithScenarioDone callback runs, in the
+// order the options were given (darco-bench streams CSV and NDJSON
+// from one campaign this way).
 func WithScenarioDone(fn func(i int, sr *ScenarioResult)) CampaignOption {
-	return func(c *campaignConfig) { c.onDone = fn }
+	return func(c *campaignConfig) { c.onDone = append(c.onDone, fn) }
+}
+
+// WithScenarioSession installs fn as a per-scenario session hook: it
+// runs after a scenario's Session is constructed and before the
+// session executes, with the scenario's index in the campaign's
+// scenario order. The hook is how long-lived consumers attach
+// per-session state — most importantly Session.SubscribeRetires, which
+// must be called on the session's goroutine before it runs (the serve
+// daemon's live telemetry hangs off this hook). Unlike WithScenarioDone
+// callbacks, hooks are NOT serialized: they run concurrently on the
+// worker goroutines, so fn must be safe for concurrent calls. Scenarios
+// that fail before a session exists (generation or configuration
+// errors, campaign already cancelled) never invoke the hook. Like
+// WithScenarioDone, the option composes: every hook runs, in the order
+// the options were given.
+func WithScenarioSession(fn func(i int, sc *Scenario, s *Session)) CampaignOption {
+	return func(c *campaignConfig) { c.onSession = append(c.onSession, fn) }
 }
 
 // ScenarioResult is one scenario's outcome.
@@ -203,12 +224,14 @@ func (e *Engine) RunCampaign(ctx context.Context, scenarios []Scenario, opts ...
 	var wg sync.WaitGroup
 	var doneMu sync.Mutex
 	done := func(i int) {
-		if cc.onDone == nil {
+		if len(cc.onDone) == 0 {
 			return
 		}
 		doneMu.Lock()
 		defer doneMu.Unlock()
-		cc.onDone(i, &rep.Results[i])
+		for _, fn := range cc.onDone {
+			fn(i, &rep.Results[i])
+		}
 	}
 	for w := 0; w < cc.parallelism; w++ {
 		wg.Add(1)
@@ -221,7 +244,7 @@ func (e *Engine) RunCampaign(ctx context.Context, scenarios []Scenario, opts ...
 					done(i)
 					continue
 				}
-				rep.Results[i] = e.runScenario(ctx, scenarios[i], &cc)
+				rep.Results[i] = e.runScenario(ctx, i, scenarios[i], &cc)
 				if rep.Results[i].Err != nil && cc.failFast {
 					cancel()
 				}
@@ -241,11 +264,19 @@ func (e *Engine) RunCampaign(ctx context.Context, scenarios []Scenario, opts ...
 
 // runScenario generates the scenario's workload and runs it on a
 // derived engine.
-func (e *Engine) runScenario(ctx context.Context, sc Scenario, cc *campaignConfig) (out ScenarioResult) {
+func (e *Engine) runScenario(ctx context.Context, i int, sc Scenario, cc *campaignConfig) (out ScenarioResult) {
 	out = ScenarioResult{Scenario: sc}
 	start := time.Now()
 	defer func() { out.Wall = time.Since(start) }()
 
+	// Workload generation is not context-aware, so a cancellation that
+	// races the worker loop's check must be caught here — before the
+	// potentially expensive Generate — for the campaign to stop
+	// promptly (the serve daemon's cancel endpoint depends on it).
+	if err := ctx.Err(); err != nil {
+		out.Err = fmt.Errorf("%s: not started: %w", sc.name(), err)
+		return out
+	}
 	scale := sc.Scale
 	if scale == 0 {
 		scale = 1
@@ -268,7 +299,15 @@ func (e *Engine) runScenario(ctx context.Context, sc Scenario, cc *campaignConfi
 		ctx, cancel = context.WithTimeout(ctx, cc.timeout)
 		defer cancel()
 	}
-	res, err := eng.Run(ctx, im)
+	sess, err := eng.NewSession(im)
+	if err != nil {
+		out.Err = fmt.Errorf("%s: %w", sc.name(), err)
+		return out
+	}
+	for _, fn := range cc.onSession {
+		fn(i, &out.Scenario, sess)
+	}
+	res, err := sess.Run(ctx)
 	if err != nil {
 		out.Err = fmt.Errorf("%s: %w", sc.name(), err)
 		return out

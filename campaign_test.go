@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	darco "darco"
+	"darco/internal/power"
 	"darco/internal/workload"
 )
 
@@ -164,6 +166,105 @@ func TestCampaignParentCancellation(t *testing.T) {
 	}
 	if rep == nil || len(rep.Results) != len(workload.Suites()) {
 		t.Fatal("report missing after parent cancellation")
+	}
+}
+
+// TestCampaignMidRunCancellation pins the contract the serve daemon's
+// cancel endpoint depends on: cancelling the campaign context while
+// scenarios are in flight stops the queued remainder promptly, and
+// context.Canceled surfaces both from RunCampaign and from the
+// report's joined scenario errors.
+func TestCampaignMidRunCancellation(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	eng, err := darco.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := make([]darco.Scenario, 6)
+	for i := range scs {
+		scs[i] = darco.Scenario{Name: p.Name, Profile: p, Scale: 0.05}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	first := true
+	rep, err := eng.RunCampaign(ctx, scs,
+		darco.WithParallelism(1),
+		darco.WithScenarioDone(func(i int, sr *darco.ScenarioResult) {
+			if first {
+				first = false
+				cancel() // cancel mid-campaign, after the first scenario lands
+			}
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCampaign returned %v, want context.Canceled", err)
+	}
+	if !errors.Is(rep.Err(), context.Canceled) {
+		t.Fatalf("report.Err() = %v, does not surface context.Canceled", rep.Err())
+	}
+	if rep.Results[0].Err != nil {
+		t.Errorf("scenario completed before the cancel was marked failed: %v", rep.Results[0].Err)
+	}
+	for i := 1; i < len(scs); i++ {
+		if !errors.Is(rep.Results[i].Err, context.Canceled) {
+			t.Errorf("queued scenario %d not stopped by cancellation: %v", i, rep.Results[i].Err)
+		}
+	}
+}
+
+func TestCampaignScenarioSessionHook(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	eng, err := darco.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := []darco.Scenario{
+		{Name: "a", Profile: p, Scale: 0.05},
+		{Name: "broken", Profile: p, Scale: 0.05,
+			// Power without timing fails engine derivation, so no
+			// session ever exists for this scenario.
+			Options: []darco.Option{darco.WithPower(power.DefaultEnergies(), 1000)}},
+		{Name: "c", Profile: p, Scale: 0.05},
+	}
+	var mu sync.Mutex
+	retires := make(map[int]uint64)
+	var secondHook int
+	rep, err := eng.RunCampaign(context.Background(), scs, darco.WithParallelism(2),
+		darco.WithScenarioSession(func(i int, sc *darco.Scenario, s *darco.Session) {
+			// Hooks run concurrently on worker goroutines; the sink runs
+			// on this scenario's session goroutine only.
+			s.SubscribeRetires(func(b darco.RetireBatch) {
+				mu.Lock()
+				retires[i] += uint64(len(b.Events))
+				mu.Unlock()
+			})
+		}),
+		// The option composes: both hooks must fire for every session.
+		darco.WithScenarioSession(func(i int, sc *darco.Scenario, s *darco.Session) {
+			mu.Lock()
+			secondHook++
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[1].Err == nil {
+		t.Fatal("broken scenario unexpectedly succeeded")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := retires[1]; ok {
+		t.Error("session hook fired for a scenario whose engine derivation failed")
+	}
+	if secondHook != 2 {
+		t.Errorf("composed session hook fired %d times, want 2", secondHook)
+	}
+	for _, i := range []int{0, 2} {
+		if retires[i] == 0 {
+			t.Errorf("scenario %d: session hook attached no live retire stream (0 events)", i)
+		}
+		if want := rep.Results[i].Result.HostAppInsns; retires[i] != want {
+			t.Errorf("scenario %d: streamed %d retires, result reports %d host app insns", i, retires[i], want)
+		}
 	}
 }
 

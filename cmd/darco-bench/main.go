@@ -18,10 +18,11 @@
 // existing snapshot. Committing one per perf-relevant PR gives the
 // repository a benchmark trajectory to compare against.
 //
-// -csv and -html export the suite campaign through darco/export: -csv
-// streams one row per benchmark as workers finish (scenario order,
-// deterministic counters plus wall-clock columns), -html writes the
-// self-contained static dashboard with the paper's Fig. 4–7 views.
+// -csv, -ndjson and -html export the suite campaign through
+// darco/export: -csv and -ndjson stream one row per benchmark as
+// workers finish (scenario order, deterministic counters plus
+// wall-clock columns), -html writes the self-contained static
+// dashboard with the paper's Fig. 4–7 views.
 package main
 
 import (
@@ -51,6 +52,7 @@ func main() {
 		report     = flag.Bool("report", false, "print the campaign report (per-benchmark wall times)")
 		jsonDir    = flag.String("json", "", "write a BENCH_<n>.json perf snapshot into this directory and exit")
 		csvPath    = flag.String("csv", "", "stream the suite campaign as CSV to this file")
+		ndjsonPath = flag.String("ndjson", "", "stream the suite campaign as NDJSON rows to this file")
 		htmlPath   = flag.String("html", "", "write the suite campaign's static HTML dashboard to this file")
 	)
 	flag.Parse()
@@ -85,7 +87,7 @@ func main() {
 	case "fig4", "fig5", "fig6", "fig7", "all":
 		needFigs = true
 	}
-	needSuites := needFigs || *csvPath != "" || *htmlPath != ""
+	needSuites := needFigs || *csvPath != "" || *ndjsonPath != "" || *htmlPath != ""
 
 	var rs []experiments.BenchResult
 	if needSuites {
@@ -111,6 +113,19 @@ func main() {
 			csvStream = stream
 			copts = append(copts, darco.WithScenarioDone(stream.Done))
 		}
+		// -ndjson streams the same way; both sinks can be active at
+		// once (WithScenarioDone hooks compose).
+		var ndjsonFile *os.File
+		var ndjsonStream *export.NDJSONStream
+		if *ndjsonPath != "" {
+			f, err := os.Create(*ndjsonPath)
+			if err != nil {
+				fatalf("ndjson: %v", err)
+			}
+			ndjsonFile = f
+			ndjsonStream = export.NewNDJSONStream(f, len(workload.Suites()), export.WithWallTimes())
+			copts = append(copts, darco.WithScenarioDone(ndjsonStream.Done))
+		}
 		rep, err := experiments.SuiteCampaign(ctx, *scale, darco.DefaultConfig(), copts...)
 		if err != nil {
 			fatalf("suites: %v", err)
@@ -125,6 +140,15 @@ func main() {
 				fatalf("csv: %v", err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		}
+		if ndjsonStream != nil {
+			if err := ndjsonStream.Close(); err != nil {
+				fatalf("ndjson: %v", err)
+			}
+			if err := ndjsonFile.Close(); err != nil {
+				fatalf("ndjson: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *ndjsonPath)
 		}
 		if *htmlPath != "" {
 			f, err := os.Create(*htmlPath)

@@ -1,0 +1,89 @@
+// Command darco-served runs the DARCO campaign daemon: a long-running
+// HTTP service that accepts campaign submissions, executes them on a
+// bounded job queue and worker pool, streams live telemetry, and
+// serves results in every export format.
+//
+// Usage:
+//
+//	darco-served -addr :8080
+//	darco-served -addr :8080 -workers 2 -queue 32 -max-par 8
+//
+// Quickstart against a running daemon:
+//
+//	curl -s localhost:8080/api/v1/jobs -d '{"suite":{"scale":0.1}}'
+//	curl -s localhost:8080/api/v1/jobs/job-1
+//	curl -N localhost:8080/api/v1/jobs/job-1/events
+//	curl -s localhost:8080/api/v1/jobs/job-1/export.csv
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: submissions are
+// rejected, running campaigns are cancelled, and the process exits
+// once the workers drain (bounded by -grace).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"darco/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 1, "concurrent campaign jobs")
+		queue   = flag.Int("queue", 16, "job queue capacity (waiting jobs beyond it get 429)")
+		maxPar  = flag.Int("max-par", 0, "per-job scenario parallelism cap (0 = GOMAXPROCS)")
+		maxScen = flag.Int("max-scenarios", 0, "max scenarios per submission (0 = unlimited)")
+		grace   = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "darco-served: ", log.LstdFlags)
+	srv := serve.New(serve.Options{
+		Workers:        *workers,
+		QueueCapacity:  *queue,
+		MaxParallelism: *maxPar,
+		MaxScenarios:   *maxScen,
+		Logf:           logger.Printf,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+		errc <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		logger.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down (grace %s)...", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Drain the job machinery first: cancelling the jobs is what ends
+	// any open /events streams, and http.Server.Shutdown waits for
+	// exactly those connections. New submissions get 503 meanwhile.
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logger.Fatalf("job shutdown: %v", err)
+	}
+	if err := hs.Shutdown(shutCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serve: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "darco-served: bye")
+}

@@ -355,6 +355,52 @@ func csvQuote(f string) string {
 	return string(append(out, '"'))
 }
 
+// rowSequencer is the reordering core shared by the streaming writers
+// (CSVStream, NDJSONStream): it accepts rows in completion order and
+// hands them to a format-specific write function strictly in scenario
+// order, so streamed bytes are identical at any campaign parallelism.
+type rowSequencer struct {
+	format  string // for error messages: "csv", "ndjson"
+	cfg     config
+	write   func(*Row) error
+	pending []*Row
+	next    int
+	err     error
+}
+
+func newRowSequencer(format string, n int, cfg config, write func(*Row) error) *rowSequencer {
+	return &rowSequencer{format: format, cfg: cfg, write: write, pending: make([]*Row, n)}
+}
+
+// done records scenario i's outcome and flushes the contiguous
+// completed prefix.
+func (s *rowSequencer) done(i int, sr *darco.ScenarioResult) {
+	if s.err != nil || i < 0 || i >= len(s.pending) {
+		return
+	}
+	row := newRow(sr, &s.cfg)
+	s.pending[i] = &row
+	for s.next < len(s.pending) && s.pending[s.next] != nil {
+		if err := s.write(s.pending[s.next]); err != nil {
+			s.err = err
+			return
+		}
+		s.pending[s.next] = nil
+		s.next++
+	}
+}
+
+// close reports whether every row was delivered and written.
+func (s *rowSequencer) close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.next != len(s.pending) {
+		return fmt.Errorf("export: %s stream closed after %d of %d rows", s.format, s.next, len(s.pending))
+	}
+	return nil
+}
+
 // CSVStream writes campaign rows incrementally as scenarios finish,
 // emitting records strictly in scenario order regardless of completion
 // order — the bytes produced are identical at any parallelism. Use its
@@ -365,49 +411,79 @@ func csvQuote(f string) string {
 //	rep, _ := eng.RunCampaign(ctx, scenarios, darco.WithScenarioDone(stream.Done))
 //	err := stream.Close()
 type CSVStream struct {
-	cw      *csvWriter
-	cfg     config
-	pending []*Row
-	next    int
-	err     error
+	seq *rowSequencer
 }
 
 // NewCSVStream writes the header immediately and prepares to stream n
 // scenario rows.
 func NewCSVStream(w io.Writer, n int, opts ...Option) (*CSVStream, error) {
-	s := &CSVStream{cw: newCSVWriter(w), cfg: newConfig(opts), pending: make([]*Row, n)}
-	if err := s.cw.write(csvHeader(&s.cfg)); err != nil {
+	cfg := newConfig(opts)
+	cw := newCSVWriter(w)
+	if err := cw.write(csvHeader(&cfg)); err != nil {
 		return nil, err
 	}
+	s := &CSVStream{}
+	s.seq = newRowSequencer("csv", n, cfg, func(row *Row) error {
+		return cw.write(csvRecord(row, &cfg))
+	})
 	return s, nil
 }
 
 // Done records scenario i's outcome and flushes the contiguous
 // completed prefix. It matches the WithScenarioDone hook signature;
 // RunCampaign serializes calls, so Done needs no locking of its own.
-func (s *CSVStream) Done(i int, sr *darco.ScenarioResult) {
-	if s.err != nil || i < 0 || i >= len(s.pending) {
-		return
-	}
-	row := newRow(sr, &s.cfg)
-	s.pending[i] = &row
-	for s.next < len(s.pending) && s.pending[s.next] != nil {
-		if err := s.cw.write(csvRecord(s.pending[s.next], &s.cfg)); err != nil {
-			s.err = err
-			return
-		}
-		s.pending[s.next] = nil
-		s.next++
-	}
-}
+func (s *CSVStream) Done(i int, sr *darco.ScenarioResult) { s.seq.done(i, sr) }
 
 // Close reports whether every row was delivered and written.
-func (s *CSVStream) Close() error {
-	if s.err != nil {
-		return s.err
+func (s *CSVStream) Close() error { return s.seq.close() }
+
+// WriteNDJSONRow writes one row as a compact single-line JSON object
+// with a trailing newline — the NDJSON framing shared by WriteNDJSON,
+// NDJSONStream and the serve daemon's live row events.
+func WriteNDJSONRow(w io.Writer, row *Row) error {
+	data, err := json.Marshal(row)
+	if err != nil {
+		return err
 	}
-	if s.next != len(s.pending) {
-		return fmt.Errorf("export: csv stream closed after %d of %d rows", s.next, len(s.pending))
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteNDJSON writes the campaign as newline-delimited JSON: one
+// compact Row object per line, in scenario order, no envelope. NDJSON
+// suits big sweeps — rows append and concatenate without re-parsing a
+// document, and line-oriented tools consume them directly.
+func WriteNDJSON(w io.Writer, rep *darco.CampaignReport, opts ...Option) error {
+	cfg := newConfig(opts)
+	for i := range rep.Results {
+		row := newRow(&rep.Results[i], &cfg)
+		if err := WriteNDJSONRow(w, &row); err != nil {
+			return err
+		}
 	}
 	return nil
 }
+
+// NDJSONStream writes campaign rows incrementally as scenarios finish,
+// one compact JSON object per line strictly in scenario order — like
+// CSVStream, the bytes are identical at any parallelism and match
+// WriteNDJSON on the finished report.
+type NDJSONStream struct {
+	seq *rowSequencer
+}
+
+// NewNDJSONStream prepares to stream n scenario rows to w.
+func NewNDJSONStream(w io.Writer, n int, opts ...Option) *NDJSONStream {
+	s := &NDJSONStream{}
+	s.seq = newRowSequencer("ndjson", n, newConfig(opts), func(row *Row) error {
+		return WriteNDJSONRow(w, row)
+	})
+	return s
+}
+
+// Done records scenario i's outcome and flushes the contiguous
+// completed prefix; it matches the WithScenarioDone hook signature.
+func (s *NDJSONStream) Done(i int, sr *darco.ScenarioResult) { s.seq.done(i, sr) }
+
+// Close reports whether every row was delivered and written.
+func (s *NDJSONStream) Close() error { return s.seq.close() }

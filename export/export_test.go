@@ -3,6 +3,7 @@ package export_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"os"
@@ -155,6 +156,81 @@ func TestCSVStreamMatchesWholeReportWriter(t *testing.T) {
 	}
 	if streamed.String() != whole.String() {
 		t.Errorf("streamed CSV differs from whole-report CSV:\n%s\nvs:\n%s", streamed.String(), whole.String())
+	}
+}
+
+func TestGoldenNDJSON(t *testing.T) {
+	rep := runCampaign(t, 1)
+	var buf bytes.Buffer
+	if err := export.WriteNDJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "campaign_golden.ndjson", buf.Bytes())
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(rep.Results) {
+		t.Fatalf("NDJSON has %d lines, want %d", len(lines), len(rep.Results))
+	}
+	for i, line := range lines {
+		var row export.Row
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("line %d is not a JSON object: %v", i, err)
+		}
+		if row.Scenario != rep.Results[i].Scenario.Name {
+			t.Errorf("line %d is %q, want scenario order %q", i, row.Scenario, rep.Results[i].Scenario.Name)
+		}
+	}
+	if strings.Contains(buf.String(), "wall_ms") {
+		t.Error("deterministic NDJSON export leaked wall-clock fields")
+	}
+}
+
+// TestNDJSONStreamParallelMatchesSerialBytes is the satellite
+// acceptance test: the streaming NDJSON writer reorders
+// completion-order rows to scenario order, so serial and parallel
+// campaigns produce byte-identical output, which also matches the
+// whole-report writer.
+func TestNDJSONStreamParallelMatchesSerialBytes(t *testing.T) {
+	scenarios := fixedScenarios()
+	run := func(parallelism int) (string, *darco.CampaignReport) {
+		eng, err := darco.NewEngine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamed bytes.Buffer
+		stream := export.NewNDJSONStream(&streamed, len(scenarios))
+		rep, err := eng.RunCampaign(context.Background(), scenarios,
+			darco.WithParallelism(parallelism), darco.WithScenarioDone(stream.Done))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := stream.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return streamed.String(), rep
+	}
+	serial, _ := run(1)
+	parallel, rep := run(3)
+	if serial != parallel {
+		t.Errorf("streamed NDJSON differs between serial and parallel campaigns:\n%s\nvs:\n%s", serial, parallel)
+	}
+	var whole bytes.Buffer
+	if err := export.WriteNDJSON(&whole, rep); err != nil {
+		t.Fatal(err)
+	}
+	if parallel != whole.String() {
+		t.Errorf("streamed NDJSON differs from whole-report NDJSON:\n%s\nvs:\n%s", parallel, whole.String())
+	}
+}
+
+func TestNDJSONStreamCloseIncomplete(t *testing.T) {
+	var buf bytes.Buffer
+	s := export.NewNDJSONStream(&buf, 2)
+	s.Done(1, &darco.ScenarioResult{}) // out of order: row 0 never arrives
+	if err := s.Close(); err == nil || !strings.Contains(err.Error(), "0 of 2") {
+		t.Errorf("incomplete stream close error = %v", err)
 	}
 }
 

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"darco/export"
+	"darco/telemetry"
+)
+
+// Event kinds on a job's live stream.
+const (
+	// EventState carries a JobStatus snapshot; emitted on every state
+	// transition, as the first frame of every stream, and as the final
+	// frame before the stream ends. State events are idempotent
+	// snapshots — consumers may see the same state more than once.
+	EventState = "state"
+	// EventScenario carries a ScenarioEvent as each scenario finishes.
+	EventScenario = "scenario"
+	// EventTelemetry carries a TelemetryEvent per completed
+	// instruction-mix window of an in-flight scenario.
+	EventTelemetry = "telemetry"
+)
+
+// ScenarioEvent is the payload of one scenario-completion frame: the
+// same deterministic export row the CSV/NDJSON exporters write, plus
+// the scenario's index in campaign order. Rows arrive in completion
+// order; reorder on Index if scenario order matters.
+type ScenarioEvent struct {
+	Job   string     `json:"job"`
+	Index int        `json:"scenario_index"`
+	Row   export.Row `json:"row"`
+}
+
+// TelemetryEvent is the payload of one instruction-mix window frame.
+type TelemetryEvent struct {
+	Job      string           `json:"job"`
+	Index    int              `json:"scenario_index"`
+	Scenario string           `json:"scenario"`
+	Window   telemetry.Window `json:"window"`
+}
+
+// event is one frame queued for a job's subscribers.
+type event struct {
+	kind string
+	data any // immutable snapshot, shared across subscribers
+}
+
+// subscriberBuffer is each stream subscriber's channel depth. The
+// stream is lossy by design: a subscriber that cannot drain this many
+// frames drops the newest ones (the terminal state is re-sent at
+// stream end, so outcomes are never lost — only intermediate telemetry
+// resolution).
+const subscriberBuffer = 256
+
+// broadcaster fans a job's event frames out to any number of stream
+// subscribers. Publishing never blocks on a slow subscriber.
+type broadcaster struct {
+	mu     sync.Mutex
+	subs   map[chan event]struct{}
+	closed bool
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: make(map[chan event]struct{})}
+}
+
+// subscribe registers a new subscriber channel. On an already-closed
+// broadcaster (terminal job) the returned channel is closed, so the
+// consumer's drain loop ends immediately.
+func (b *broadcaster) subscribe() chan event {
+	ch := make(chan event, subscriberBuffer)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(ch)
+		return ch
+	}
+	b.subs[ch] = struct{}{}
+	return ch
+}
+
+// unsubscribe removes ch; safe after close.
+func (b *broadcaster) unsubscribe(ch chan event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[ch]; ok {
+		delete(b.subs, ch)
+	}
+}
+
+// publish queues one frame to every subscriber, dropping it for
+// subscribers whose buffers are full.
+func (b *broadcaster) publish(kind string, data any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- event{kind: kind, data: data}:
+		default: // slow subscriber: drop rather than stall the job
+		}
+	}
+}
+
+// close ends every subscriber's stream. Publishing after close is a
+// no-op.
+func (b *broadcaster) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		close(ch)
+	}
+	b.subs = nil
+}
+
+// writeFrame writes one event frame in SSE framing ("event:"/"data:"
+// lines and a blank-line terminator) or, when ndjson is set, as one
+// {"event":...,"data":...} line.
+func writeFrame(w io.Writer, ndjson bool, kind string, data any) error {
+	blob, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	if ndjson {
+		_, err = fmt.Fprintf(w, "{\"event\":%q,\"data\":%s}\n", kind, blob)
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", kind, blob)
+	return err
+}

@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"darco/export"
+	"darco/internal/workload"
+)
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := export.EncodeJSON(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(data)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/export.json", s.handleExport("json"))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/export.csv", s.handleExport("csv"))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/export.ndjson", s.handleExport("ndjson"))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/export.html", s.handleExport("html"))
+	mux.HandleFunc("GET /api/v1/profiles", s.handleProfiles)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// maxSubmitBytes bounds a submission body: load must shed at the edge
+// before a request is buffered, not after MaxScenarios is parsed.
+const maxSubmitBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := s.decodeSubmit(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	j, err := s.submit(spec)
+	switch {
+	case errors.Is(err, errQueueFull):
+		// Backpressure: the queue is bounded so load sheds at the
+		// edge; clients retry with the advertised delay.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, errClosing):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/api/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.list()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// lookup resolves the {id} path value, writing the 404 itself when the
+// job does not exist.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+// handleCancel stops a queued or running job. Cancelling is
+// asynchronous — the response reports the state observed after the
+// cancel was issued, which may still be "running" until the campaign
+// observes its context (within one engine check interval) — and
+// idempotent: cancelling a terminal job changes nothing.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleExport renders a terminal job's stored CampaignReport in the
+// requested format, with darco/export's deterministic defaults:
+// export.json and export.csv bytes for a completed job match an
+// offline export of the same scenarios. ?wall=1 opts into wall-clock
+// metrics.
+func (s *Server) handleExport(format string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.lookup(w, r)
+		if !ok {
+			return
+		}
+		rep, err := j.result()
+		if err != nil {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		var opts []export.Option
+		if r.URL.Query().Get("wall") == "1" {
+			opts = append(opts, export.WithWallTimes())
+		}
+		switch format {
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			err = export.WriteJSON(w, rep, opts...)
+		case "csv":
+			w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+			err = export.WriteCSV(w, rep, opts...)
+		case "ndjson":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			err = export.WriteNDJSON(w, rep, opts...)
+		case "html":
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			err = export.WriteHTML(w, rep, opts...)
+		}
+		if err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			s.logf("export %s for %s: %v", format, j.id, err)
+		}
+	}
+}
+
+// handleEvents streams a job's live frames as SSE (default) or NDJSON
+// (?format=ndjson). The stream opens with a state snapshot, carries
+// scenario/telemetry/state frames while the job runs, and ends with a
+// final state frame once the job is terminal.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	ndjson := r.URL.Query().Get("format") == "ndjson"
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+	}
+	flush := func() {
+		if canFlush {
+			flusher.Flush()
+		}
+	}
+
+	// Subscribe before snapshotting so no frame between the snapshot
+	// and the loop is lost; state frames are idempotent snapshots, so
+	// the duplicate a subscribe/transition race can produce is safe.
+	ch := j.events.subscribe()
+	defer j.events.unsubscribe(ch)
+	if err := writeFrame(w, ndjson, EventState, j.status()); err != nil {
+		return
+	}
+	flush()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				// Terminal: re-send the final status so even a consumer
+				// whose buffer dropped the transition sees the outcome.
+				writeFrame(w, ndjson, EventState, j.status())
+				flush()
+				return
+			}
+			if err := writeFrame(w, ndjson, ev.kind, ev.data); err != nil {
+				return
+			}
+			flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// ProfileInfo describes one submittable workload.
+type ProfileInfo struct {
+	Name  string `json:"name"`
+	Suite string `json:"suite"`
+}
+
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	var out []ProfileInfo
+	for _, p := range workload.Suites() {
+		out = append(out, ProfileInfo{Name: p.Name, Suite: p.Suite})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	Jobs          int     `json:"jobs"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.opts.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Jobs:          len(s.jobs.list()),
+	})
+}
+
+// logf reports server-side failures that have no HTTP channel left
+// (mid-stream export errors); silent unless Options.Logf is set.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	darco "darco"
+)
+
+// JobState is a campaign job's lifecycle state. Jobs move
+// queued → running → one of the terminal states (done, failed,
+// cancelled); there are no other transitions.
+type JobState string
+
+// Job lifecycle states.
+const (
+	// JobQueued: accepted and waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is executing the campaign.
+	JobRunning JobState = "running"
+	// JobDone: every scenario completed successfully.
+	JobDone JobState = "done"
+	// JobFailed: the campaign finished but at least one scenario
+	// failed; the report (with per-scenario errors) is retained and
+	// exportable.
+	JobFailed JobState = "failed"
+	// JobCancelled: the job was stopped by a cancel request or server
+	// shutdown. A partially-run campaign's report is retained.
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobStatus is the wire representation of a job's current state — what
+// the status and list endpoints return and what state events carry.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Name  string   `json:"name,omitempty"`
+	State JobState `json:"state"`
+
+	// Scenarios is the campaign's total scenario count; Completed and
+	// Failed advance as workers finish them (Failed counts scenarios,
+	// not jobs, and is included in Completed).
+	Scenarios int `json:"scenarios"`
+	Completed int `json:"completed_scenarios"`
+	Failed    int `json:"failed_scenarios,omitempty"`
+
+	// Error summarizes why the job failed or was cancelled.
+	Error string `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// job is the server-side job record. Mutable fields are guarded by mu;
+// the spec and id are immutable after submit.
+type job struct {
+	id   string
+	spec *jobSpec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	events *broadcaster
+
+	mu        sync.Mutex
+	state     JobState
+	err       error
+	report    *darco.CampaignReport
+	completed int
+	failed    int
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// status snapshots the job under its lock.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		Name:        j.spec.name,
+		State:       j.state,
+		Scenarios:   len(j.spec.scenarios),
+		Completed:   j.completed,
+		Failed:      j.failed,
+		SubmittedAt: j.submitted,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// result returns the stored campaign report, or an error while the job
+// has not produced one yet.
+func (j *job) result() (*darco.CampaignReport, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.report == nil {
+		return nil, fmt.Errorf("job %s is %s: no results yet", j.id, j.state)
+	}
+	return j.report, nil
+}
+
+// store is the concurrency-safe job registry. Jobs are never evicted:
+// a campaign daemon's job count is human-scale, and results must stay
+// fetchable after completion.
+type store struct {
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []*job
+	next  int
+}
+
+func newStore() *store {
+	return &store{jobs: make(map[string]*job)}
+}
+
+// add registers j under a fresh sequential id ("job-1", "job-2", ...).
+func (st *store) add(j *job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	j.id = fmt.Sprintf("job-%d", st.next)
+	st.jobs[j.id] = j
+	st.order = append(st.order, j)
+}
+
+func (st *store) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// list returns every job in submission order.
+func (st *store) list() []*job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*job, len(st.order))
+	copy(out, st.order)
+	return out
+}

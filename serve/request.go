@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	darco "darco"
+	"darco/internal/power"
+	"darco/internal/timing"
+	"darco/internal/workload"
+	"darco/telemetry"
+)
+
+// SubmitRequest is the JSON body of POST /api/v1/jobs: the scenario
+// roster (a whole-suite sweep, an explicit scenario list, or both
+// concatenated — suite first), campaign execution knobs, and optional
+// engine and telemetry configuration. Unknown fields are rejected so a
+// typo'd knob fails the submit instead of silently running defaults.
+type SubmitRequest struct {
+	// Name labels the job in statuses and listings.
+	Name string `json:"name,omitempty"`
+
+	// Suite, when non-nil, enrolls the paper's full 31-benchmark
+	// roster at the given scale.
+	Suite *SuiteSpec `json:"suite,omitempty"`
+
+	// Scenarios enrolls explicit workload × scale points.
+	Scenarios []ScenarioSpec `json:"scenarios,omitempty"`
+
+	// Parallelism bounds the campaign's worker pool (0 = server
+	// default; the server additionally caps it at its configured
+	// per-job maximum).
+	Parallelism int `json:"parallelism,omitempty"`
+
+	// ScenarioTimeoutMS cancels any single scenario running longer
+	// than this many milliseconds (0 = none).
+	ScenarioTimeoutMS int64 `json:"scenario_timeout_ms,omitempty"`
+
+	// FailFast cancels the rest of the campaign when one scenario
+	// fails.
+	FailFast bool `json:"fail_fast,omitempty"`
+
+	Engine    *EngineSpec    `json:"engine,omitempty"`
+	Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
+}
+
+// SuiteSpec enrolls the full benchmark roster at one scale.
+type SuiteSpec struct {
+	// Scale is the workload dynamic-size factor (0 = 1.0).
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// ScenarioSpec is one workload × configuration point.
+type ScenarioSpec struct {
+	// Profile names a workload from the paper's roster (e.g.
+	// "429.mcf"); see GET /api/v1/profiles for the list.
+	Profile string `json:"profile"`
+	// Scale is the workload dynamic-size factor (0 = 1.0).
+	Scale float64 `json:"scale,omitempty"`
+	// Name labels the scenario in results (default: the profile name).
+	Name string `json:"name,omitempty"`
+}
+
+// EngineSpec selects the engine configuration for every scenario of
+// the job. Nil/zero fields keep the paper defaults, so {} (or omitting
+// the whole object) runs the stock functional stack.
+type EngineSpec struct {
+	// BBThreshold / SBThreshold are the TOL promotion thresholds
+	// (interpretations before BB translation, BBM executions before
+	// superblock promotion).
+	BBThreshold *uint32 `json:"bb_threshold,omitempty"`
+	SBThreshold *uint64 `json:"sb_threshold,omitempty"`
+
+	// DisableChaining and EagerFlags are the paper's ablation toggles.
+	DisableChaining bool `json:"disable_chaining,omitempty"`
+	EagerFlags      bool `json:"eager_flags,omitempty"`
+
+	// ValidateEveryNSyncs compares co-designed vs authoritative state
+	// at every Nth synchronization (nil = paper default of 1, 0
+	// disables periodic validation).
+	ValidateEveryNSyncs *int `json:"validate_every_n_syncs,omitempty"`
+
+	// MaxGuestInsns aborts runaway scenarios (0 = unlimited).
+	MaxGuestInsns uint64 `json:"max_guest_insns,omitempty"`
+
+	// Timing attaches the in-order timing simulator; Power
+	// additionally attaches the power model (implies Timing) at
+	// FreqMHz (0 = 1000).
+	Timing  bool    `json:"timing,omitempty"`
+	Power   bool    `json:"power,omitempty"`
+	FreqMHz float64 `json:"freq_mhz,omitempty"`
+}
+
+// TelemetrySpec configures the live instruction-mix stream. Telemetry
+// is on by default; it costs a retire-stream subscription per running
+// scenario, so heavy sweeps that do not watch /events can disable it.
+type TelemetrySpec struct {
+	Disable bool `json:"disable,omitempty"`
+	// IntervalInsns is the window length in retired host instructions
+	// (0 = telemetry.DefaultInterval).
+	IntervalInsns uint64 `json:"interval_insns,omitempty"`
+}
+
+// jobSpec is a validated submission: everything a worker needs to run
+// the campaign.
+type jobSpec struct {
+	name              string
+	scenarios         []darco.Scenario
+	eng               *darco.Engine
+	parallelism       int
+	scenarioTimeout   time.Duration
+	failFast          bool
+	telemetryOff      bool
+	telemetryInterval uint64
+}
+
+// decodeSubmit parses and validates a submission body against the
+// server's limits.
+func (s *Server) decodeSubmit(r io.Reader) (*jobSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req SubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("invalid request body: %w", err)
+	}
+	return s.buildSpec(&req)
+}
+
+// buildSpec validates a submission and compiles it to scenarios plus a
+// ready engine.
+func (s *Server) buildSpec(req *SubmitRequest) (*jobSpec, error) {
+	spec := &jobSpec{name: req.Name}
+
+	if req.Suite != nil {
+		if req.Suite.Scale < 0 {
+			return nil, fmt.Errorf("suite scale %g is negative", req.Suite.Scale)
+		}
+		spec.scenarios = append(spec.scenarios, darco.SuiteScenarios(req.Suite.Scale)...)
+	}
+	for i, sc := range req.Scenarios {
+		p, ok := workload.ByName(sc.Profile)
+		if !ok {
+			return nil, fmt.Errorf("scenario %d: unknown profile %q", i, sc.Profile)
+		}
+		if sc.Scale < 0 {
+			return nil, fmt.Errorf("scenario %d: scale %g is negative", i, sc.Scale)
+		}
+		spec.scenarios = append(spec.scenarios, darco.Scenario{
+			Name: sc.Name, Profile: p, Scale: sc.Scale,
+		})
+	}
+	if len(spec.scenarios) == 0 {
+		return nil, fmt.Errorf("no scenarios: set \"suite\" and/or \"scenarios\"")
+	}
+	if limit := s.opts.MaxScenarios; limit > 0 && len(spec.scenarios) > limit {
+		return nil, fmt.Errorf("%d scenarios exceed the server limit of %d", len(spec.scenarios), limit)
+	}
+
+	if req.Parallelism < 0 {
+		return nil, fmt.Errorf("parallelism %d is negative", req.Parallelism)
+	}
+	spec.parallelism = req.Parallelism
+	if limit := s.opts.MaxParallelism; limit > 0 && (spec.parallelism == 0 || spec.parallelism > limit) {
+		spec.parallelism = limit
+	}
+	if req.ScenarioTimeoutMS < 0 {
+		return nil, fmt.Errorf("scenario_timeout_ms %d is negative", req.ScenarioTimeoutMS)
+	}
+	spec.scenarioTimeout = time.Duration(req.ScenarioTimeoutMS) * time.Millisecond
+	spec.failFast = req.FailFast
+
+	if t := req.Telemetry; t != nil {
+		spec.telemetryOff = t.Disable
+		spec.telemetryInterval = t.IntervalInsns
+	}
+	if spec.telemetryInterval == 0 {
+		spec.telemetryInterval = telemetry.DefaultInterval
+	}
+
+	opts, err := req.Engine.engineOptions()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := darco.NewEngine(opts...)
+	if err != nil {
+		return nil, fmt.Errorf("engine configuration: %w", err)
+	}
+	spec.eng = eng
+	return spec, nil
+}
+
+// engineOptions compiles the spec (nil = all defaults) to engine
+// options.
+func (e *EngineSpec) engineOptions() ([]darco.Option, error) {
+	if e == nil {
+		return nil, nil
+	}
+	tc := darco.DefaultConfig().TOL
+	if e.BBThreshold != nil {
+		tc.BBThreshold = *e.BBThreshold
+	}
+	if e.SBThreshold != nil {
+		tc.SBThreshold = *e.SBThreshold
+	}
+	tc.DisableChaining = e.DisableChaining
+	tc.EagerFlags = e.EagerFlags
+	opts := []darco.Option{darco.WithTOL(tc)}
+
+	if e.ValidateEveryNSyncs != nil {
+		if *e.ValidateEveryNSyncs < 0 {
+			return nil, fmt.Errorf("validate_every_n_syncs %d is negative", *e.ValidateEveryNSyncs)
+		}
+		opts = append(opts, darco.WithValidation(*e.ValidateEveryNSyncs))
+	}
+	if e.MaxGuestInsns > 0 {
+		opts = append(opts, darco.WithMaxGuestInsns(e.MaxGuestInsns))
+	}
+	if e.Timing || e.Power {
+		opts = append(opts, darco.WithTiming(timing.DefaultConfig()))
+	}
+	if e.Power {
+		freq := e.FreqMHz
+		if freq == 0 {
+			freq = 1000
+		}
+		opts = append(opts, darco.WithPower(power.DefaultEnergies(), freq))
+	}
+	return opts, nil
+}

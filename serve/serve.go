@@ -1,0 +1,361 @@
+// Package serve is the long-running campaign service: an HTTP API that
+// accepts campaign submissions, runs them on a bounded job queue and
+// worker pool layered over Engine.RunCampaign, and serves results in
+// every darco/export format plus a live event stream per job.
+//
+// # API
+//
+//	POST   /api/v1/jobs                submit a campaign (SubmitRequest JSON) → 202 + JobStatus
+//	GET    /api/v1/jobs                list jobs (JobStatus array)
+//	GET    /api/v1/jobs/{id}           one job's JobStatus
+//	POST   /api/v1/jobs/{id}/cancel    stop a queued or running job (also DELETE /api/v1/jobs/{id})
+//	GET    /api/v1/jobs/{id}/events    live stream: SSE, or NDJSON with ?format=ndjson
+//	GET    /api/v1/jobs/{id}/export.json|csv|ndjson|html
+//	                                   results rendered on demand (?wall=1 adds wall-clock metrics)
+//	GET    /api/v1/profiles            the workload roster submissions can name
+//	GET    /healthz                    liveness + queue depth
+//
+// Exports are rendered from the stored CampaignReport with darco/export
+// defaults, so fetching export.json or export.csv for a completed job
+// yields bytes identical to an offline export of the same scenarios.
+//
+// # Jobs and backpressure
+//
+// A submission is validated, assigned an id, and placed on a bounded
+// queue (JobQueued). Workers — Options.Workers campaigns at a time,
+// each itself a parallel scenario pool — pop jobs in submission order
+// and run them (JobRunning) to a terminal state: JobDone, JobFailed
+// (some scenarios errored; the report is retained) or JobCancelled.
+// When the queue is full, submissions are rejected with 429 so load
+// sheds at the edge instead of accumulating unbounded state.
+//
+// # Live streams
+//
+// Every job carries an event broadcaster. Streams open with a
+// JobStatus snapshot frame, then interleave scenario-completion rows
+// (the deterministic export.Row), instruction-mix telemetry windows
+// (darco/telemetry, attached per scenario through
+// darco.WithScenarioSession), and state transitions; the stream ends
+// with a final state frame once the job is terminal. Slow consumers
+// lose intermediate frames rather than stalling emulation.
+//
+// # Shutdown
+//
+// Shutdown rejects new submissions (503), cancels the context under
+// every queued and running campaign (running scenarios stop within one
+// engine check interval and queued ones are marked cancelled), closes
+// all event streams, and waits for the workers to drain.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	darco "darco"
+	"darco/export"
+	"darco/telemetry"
+)
+
+// Options configures a Server. The zero value serves with sensible
+// defaults: one campaign at a time, a 16-deep queue, campaign
+// parallelism capped at GOMAXPROCS.
+type Options struct {
+	// Workers is how many campaign jobs run concurrently (min 1).
+	// Scenario-level parallelism multiplies under it, so the total CPU
+	// footprint is roughly Workers × MaxParallelism.
+	Workers int
+
+	// QueueCapacity bounds how many accepted jobs may wait for a
+	// worker (min 1); beyond it, submissions get 429.
+	QueueCapacity int
+
+	// MaxParallelism caps any job's scenario worker pool (0 =
+	// GOMAXPROCS). Submissions asking for more (or for the default)
+	// are clamped to it.
+	MaxParallelism int
+
+	// MaxScenarios rejects submissions with more scenarios than this
+	// (0 = unlimited).
+	MaxScenarios int
+
+	// Logf, when non-nil, receives server-side log lines (job
+	// transitions, stream failures). The daemon wires it to log.Printf;
+	// nil runs silent, which is what tests want.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.QueueCapacity < 1 {
+		o.QueueCapacity = 16
+	}
+	if o.MaxParallelism < 1 {
+		o.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Server is the campaign daemon: an http.Handler plus the job queue
+// and worker pool behind it. Create with New, serve it with any
+// net/http server, and stop it with Shutdown.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	jobs  *store
+	start time.Time
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	queue   chan *job
+	closing bool
+}
+
+// New builds a Server and starts its workers.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:  opts.withDefaults(),
+		jobs:  newStore(),
+		start: time.Now(),
+	}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	s.queue = make(chan *job, s.opts.QueueCapacity)
+	s.mux = s.routes()
+	for w := 0; w < s.opts.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown stops the service: new submissions are rejected, every
+// queued and running job is cancelled, and the call waits — up to
+// ctx — for the workers to finish. It is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closing
+	s.closing = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	// Cancel the context under every job: running campaigns return
+	// within one check interval, and queued jobs drained by the
+	// workers are marked cancelled without starting.
+	s.stop()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// submit validates a request body and enqueues the job, reporting
+// queue-full and shutting-down conditions distinctly.
+var (
+	errQueueFull = fmt.Errorf("job queue is full")
+	errClosing   = fmt.Errorf("server is shutting down")
+)
+
+func (s *Server) submit(spec *jobSpec) (*job, error) {
+	j := &job{
+		spec:      spec,
+		state:     JobQueued,
+		submitted: time.Now(),
+		events:    newBroadcaster(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return nil, errClosing
+	}
+	// Capacity is checked before the job becomes visible: a rejected
+	// submission leaves no trace (the client owns the retry) and ids
+	// stay sequential in accepted-submission order. The send cannot
+	// block — s.mu serializes all senders and the capacity was just
+	// checked; workers only ever receive.
+	if len(s.queue) == cap(s.queue) {
+		return nil, errQueueFull
+	}
+	// The cancellable context is derived only for accepted jobs — a
+	// child of baseCtx stays registered there until cancelled, so
+	// rejected submissions must not create one (a client retry-looping
+	// against a full queue would leak a context per attempt).
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	s.jobs.add(j)
+	s.queue <- j
+	return j, nil
+}
+
+// markCancelled moves a not-yet-terminal job to JobCancelled with the
+// given reason; returns false if it was already terminal.
+func (j *job) markCancelled(reason error) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = JobCancelled
+	j.err = reason
+	j.finished = time.Now()
+	j.mu.Unlock()
+	return true
+}
+
+// runJob executes one campaign job to a terminal state.
+func (s *Server) runJob(j *job) {
+	// Release the job's context registration in baseCtx once terminal;
+	// a long-running daemon would otherwise pin one child context per
+	// job ever run. The cancel endpoint's extra calls are no-ops.
+	defer j.cancel()
+	// A job cancelled (or a server stopping) while queued never starts.
+	if err := j.ctx.Err(); err != nil {
+		if j.markCancelled(fmt.Errorf("cancelled while queued: %w", err)) {
+			j.events.publish(EventState, j.status())
+		}
+		j.events.close()
+		return
+	}
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.logf("serve: %s running: %d scenarios, parallelism %d", j.id, len(j.spec.scenarios), j.spec.parallelism)
+	j.events.publish(EventState, j.status())
+
+	copts := []darco.CampaignOption{
+		darco.WithParallelism(j.spec.parallelism),
+		darco.WithScenarioDone(s.scenarioDone(j)),
+	}
+	if j.spec.scenarioTimeout > 0 {
+		copts = append(copts, darco.WithScenarioTimeout(j.spec.scenarioTimeout))
+	}
+	if j.spec.failFast {
+		copts = append(copts, darco.WithFailFast())
+	}
+	var winds *windowers
+	if !j.spec.telemetryOff {
+		winds = newWindowers(j)
+		copts = append(copts,
+			darco.WithScenarioSession(winds.attach),
+			darco.WithScenarioDone(winds.flush))
+	}
+
+	rep, err := j.spec.eng.RunCampaign(j.ctx, j.spec.scenarios, copts...)
+
+	j.mu.Lock()
+	j.report = rep
+	j.finished = time.Now()
+	switch {
+	case err != nil:
+		// Only the job context cuts a campaign short: a cancel request
+		// or server shutdown.
+		j.state = JobCancelled
+		j.err = err
+	case rep.Err() != nil:
+		j.state = JobFailed
+		j.err = rep.Err()
+	default:
+		j.state = JobDone
+	}
+	j.mu.Unlock()
+	st := j.status()
+	s.logf("serve: %s %s: %d/%d scenarios, %d failed", j.id, st.State, st.Completed, st.Scenarios, st.Failed)
+	j.events.publish(EventState, st)
+	j.events.close()
+}
+
+// scenarioDone builds the job's scenario-completion hook: progress
+// counters and a live export.Row frame. RunCampaign serializes
+// scenario-done callbacks, so the counter updates need only the job
+// lock.
+func (s *Server) scenarioDone(j *job) func(i int, sr *darco.ScenarioResult) {
+	return func(i int, sr *darco.ScenarioResult) {
+		j.mu.Lock()
+		j.completed++
+		if sr.Err != nil {
+			j.failed++
+		}
+		j.mu.Unlock()
+		j.events.publish(EventScenario, ScenarioEvent{
+			Job:   j.id,
+			Index: i,
+			Row:   export.NewRow(sr),
+		})
+	}
+}
+
+// windowers owns one job's per-scenario telemetry state: a
+// darco/telemetry windower per in-flight session, attached through the
+// campaign's session hook and flushed from its scenario-done hook.
+// Session hooks run concurrently on the campaign's worker goroutines,
+// so the map is locked; each windower itself stays single-goroutine
+// (its scenario's session goroutine, which is also the goroutine its
+// scenario-done callback runs on).
+type windowers struct {
+	j  *job
+	mu sync.Mutex
+	m  map[int]*telemetry.Windower
+}
+
+func newWindowers(j *job) *windowers {
+	return &windowers{j: j, m: make(map[int]*telemetry.Windower)}
+}
+
+// attach is the darco.WithScenarioSession hook.
+func (ws *windowers) attach(i int, sc *darco.Scenario, sess *darco.Session) {
+	name := sc.Name
+	if name == "" {
+		name = sc.Profile.Name
+	}
+	wd := telemetry.NewWindower(ws.j.spec.telemetryInterval, func(w telemetry.Window) {
+		ws.j.events.publish(EventTelemetry, TelemetryEvent{
+			Job:      ws.j.id,
+			Index:    i,
+			Scenario: name,
+			Window:   w,
+		})
+	})
+	sess.SubscribeRetires(wd.Sink)
+	ws.mu.Lock()
+	ws.m[i] = wd
+	ws.mu.Unlock()
+}
+
+// flush is a darco.WithScenarioDone hook: it emits the scenario's
+// final partial window once the session is finished. Scenarios that
+// never built a session (generation failures, cancelled before start)
+// have no windower.
+func (ws *windowers) flush(i int, sr *darco.ScenarioResult) {
+	ws.mu.Lock()
+	wd := ws.m[i]
+	delete(ws.m, i)
+	ws.mu.Unlock()
+	if wd != nil {
+		wd.Flush()
+	}
+}
