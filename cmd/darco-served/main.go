@@ -7,6 +7,7 @@
 //
 //	darco-served -addr :8080
 //	darco-served -addr :8080 -workers 2 -queue 32 -max-par 8
+//	darco-served -addr :8080 -data /var/lib/darco
 //
 // Quickstart against a running daemon:
 //
@@ -14,6 +15,13 @@
 //	curl -s localhost:8080/api/v1/jobs/job-1
 //	curl -N localhost:8080/api/v1/jobs/job-1/events
 //	curl -s localhost:8080/api/v1/jobs/job-1/export.csv
+//
+// With -data, every job's lifecycle is journaled to the durable
+// campaign store in that directory: restarting the daemon over the
+// same directory restores finished jobs (exports byte-identical to
+// the pre-restart daemon's), re-queues jobs that were still waiting,
+// and marks jobs that were mid-run as interrupted with their partial
+// results preserved. -fsync picks the journal durability policy.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: submissions are
 // rejected, running campaigns are cancelled, and the process exits
@@ -33,6 +41,7 @@ import (
 	"time"
 
 	"darco/serve"
+	"darco/store"
 )
 
 func main() {
@@ -42,18 +51,34 @@ func main() {
 		queue   = flag.Int("queue", 16, "job queue capacity (waiting jobs beyond it get 429)")
 		maxPar  = flag.Int("max-par", 0, "per-job scenario parallelism cap (0 = GOMAXPROCS)")
 		maxScen = flag.Int("max-scenarios", 0, "max scenarios per submission (0 = unlimited)")
+		data    = flag.String("data", "", "durable store directory (empty = in-memory only)")
+		fsync   = flag.String("fsync", "lifecycle", "journal fsync policy with -data: lifecycle, always or none")
 		grace   = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "darco-served: ", log.LstdFlags)
-	srv := serve.New(serve.Options{
+	opts := serve.Options{
 		Workers:        *workers,
 		QueueCapacity:  *queue,
 		MaxParallelism: *maxPar,
 		MaxScenarios:   *maxScen,
 		Logf:           logger.Printf,
-	})
+	}
+	if *data != "" {
+		policy, err := fsyncPolicy(*fsync)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		st, err := store.Open(*data, store.Options{Sync: policy, Logf: logger.Printf})
+		if err != nil {
+			logger.Fatalf("open store: %v", err)
+		}
+		defer st.Close()
+		logger.Printf("store %s recovered: %s", *data, st.Recovery())
+		opts.Store = st
+	}
+	srv := serve.New(opts)
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	errc := make(chan error, 1)
@@ -76,6 +101,8 @@ func main() {
 	// Drain the job machinery first: cancelling the jobs is what ends
 	// any open /events streams, and http.Server.Shutdown waits for
 	// exactly those connections. New submissions get 503 meanwhile.
+	// The store (the deferred Close above) outlives the drain, so the
+	// cancelled jobs' terminal records reach the journal.
 	if err := srv.Shutdown(shutCtx); err != nil {
 		logger.Fatalf("job shutdown: %v", err)
 	}
@@ -86,4 +113,16 @@ func main() {
 		logger.Printf("serve: %v", err)
 	}
 	fmt.Fprintln(os.Stderr, "darco-served: bye")
+}
+
+func fsyncPolicy(name string) (store.SyncPolicy, error) {
+	switch name {
+	case "lifecycle":
+		return store.SyncLifecycle, nil
+	case "always":
+		return store.SyncAlways, nil
+	case "none":
+		return store.SyncNone, nil
+	}
+	return 0, fmt.Errorf("unknown -fsync policy %q (lifecycle, always or none)", name)
 }

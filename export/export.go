@@ -196,14 +196,32 @@ func Rows(rep *darco.CampaignReport, opts ...Option) []Row {
 	return out
 }
 
+// StripWallRow returns row with the wall-clock fields zeroed — the
+// deterministic default view of a row built (or stored) with
+// WithWallTimes. This is the one place that knows which Row fields
+// are wall-dependent.
+func StripWallRow(row Row) Row {
+	row.WallMS = 0
+	row.GuestMIPS = 0
+	row.HostMIPS = 0
+	return row
+}
+
+// StripWall is StripWallRow over a whole row set. A consumer that
+// persists wall-inclusive rows can serve both the byte-comparable
+// default export and the ?wall=1 view from the same stored encoding.
+func StripWall(rows []Row) []Row {
+	out := make([]Row, len(rows))
+	for i := range rows {
+		out[i] = StripWallRow(rows[i])
+	}
+	return out
+}
+
 // NewReport builds the versioned JSON document for a campaign.
 func NewReport(rep *darco.CampaignReport, opts ...Option) *Report {
 	cfg := newConfig(opts)
-	doc := &Report{
-		Schema:    SchemaVersion,
-		Generator: "darco",
-		Scenarios: Rows(rep, opts...),
-	}
+	doc := NewRowReport(Rows(rep, opts...))
 	if cfg.wallTimes {
 		doc.WallMS = float64(rep.Wall.Nanoseconds()) / 1e6
 		doc.Workers = rep.Parallelism
@@ -211,15 +229,34 @@ func NewReport(rep *darco.CampaignReport, opts ...Option) *Report {
 	return doc
 }
 
-// WriteJSON writes the campaign as an indented, versioned JSON
-// document with a trailing newline.
-func WriteJSON(w io.Writer, rep *darco.CampaignReport, opts ...Option) error {
-	data, err := EncodeJSON(NewReport(rep, opts...))
+// NewRowReport builds the versioned JSON document around pre-flattened
+// rows. Given the rows a CampaignReport would flatten to, the document
+// is identical to NewReport's — this is the restore path for consumers
+// (the serve daemon's durable store) that persist rows rather than
+// live reports. Campaign-level wall fields are left for the caller.
+func NewRowReport(rows []Row) *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		Generator: "darco",
+		Scenarios: rows,
+	}
+}
+
+// WriteReport writes an assembled Report document the way WriteJSON
+// does: two-space indented with a trailing newline.
+func WriteReport(w io.Writer, doc *Report) error {
+	data, err := EncodeJSON(doc)
 	if err != nil {
 		return err
 	}
 	_, err = w.Write(data)
 	return err
+}
+
+// WriteJSON writes the campaign as an indented, versioned JSON
+// document with a trailing newline.
+func WriteJSON(w io.Writer, rep *darco.CampaignReport, opts ...Option) error {
+	return WriteReport(w, NewReport(rep, opts...))
 }
 
 // EncodeJSON marshals v the way every darco JSON artifact is written:
@@ -295,14 +332,21 @@ func csvRecord(row *Row, cfg *config) []string {
 // WriteCSV writes the campaign as CSV: a header line, then one record
 // per scenario in scenario order.
 func WriteCSV(w io.Writer, rep *darco.CampaignReport, opts ...Option) error {
+	return WriteCSVRows(w, Rows(rep, opts...), opts...)
+}
+
+// WriteCSVRows writes pre-flattened rows as CSV with the same header,
+// quoting and column rules as WriteCSV — the options select columns
+// (WithWallTimes adds the wall columns) but the row values are written
+// as given.
+func WriteCSVRows(w io.Writer, rows []Row, opts ...Option) error {
 	cfg := newConfig(opts)
 	cw := newCSVWriter(w)
 	if err := cw.write(csvHeader(&cfg)); err != nil {
 		return err
 	}
-	for i := range rep.Results {
-		row := newRow(&rep.Results[i], &cfg)
-		if err := cw.write(csvRecord(&row, &cfg)); err != nil {
+	for i := range rows {
+		if err := cw.write(csvRecord(&rows[i], &cfg)); err != nil {
 			return err
 		}
 	}
@@ -454,10 +498,14 @@ func WriteNDJSONRow(w io.Writer, row *Row) error {
 // suits big sweeps — rows append and concatenate without re-parsing a
 // document, and line-oriented tools consume them directly.
 func WriteNDJSON(w io.Writer, rep *darco.CampaignReport, opts ...Option) error {
-	cfg := newConfig(opts)
-	for i := range rep.Results {
-		row := newRow(&rep.Results[i], &cfg)
-		if err := WriteNDJSONRow(w, &row); err != nil {
+	return WriteNDJSONRows(w, Rows(rep, opts...))
+}
+
+// WriteNDJSONRows writes pre-flattened rows in NDJSON framing, one
+// compact object per line in the given order.
+func WriteNDJSONRows(w io.Writer, rows []Row) error {
+	for i := range rows {
+		if err := WriteNDJSONRow(w, &rows[i]); err != nil {
 			return err
 		}
 	}

@@ -280,8 +280,15 @@ func overheadShares(r *Row) []float64 {
 // scenario table. No external assets or scripts; light and dark mode
 // follow prefers-color-scheme.
 func WriteHTML(w io.Writer, rep *darco.CampaignReport, opts ...Option) error {
+	return WriteHTMLRows(w, Rows(rep, opts...), opts...)
+}
+
+// WriteHTMLRows renders the dashboard from pre-flattened rows — the
+// same document WriteHTML produces for the report those rows came
+// from. The options select table columns (WithWallTimes) but the row
+// values are rendered as given.
+func WriteHTMLRows(w io.Writer, rows []Row, opts ...Option) error {
 	cfg := newConfig(opts)
-	rows := Rows(rep, opts...)
 
 	ok := make([]Row, 0, len(rows))
 	var guestTotal uint64

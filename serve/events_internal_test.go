@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"testing"
+)
+
+// drainAvailable empties whatever is buffered on sub without blocking.
+func drainAvailable(sub *subscriber) []event {
+	var out []event
+	for {
+		select {
+		case ev, ok := <-sub.ch:
+			if !ok {
+				return out
+			}
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+// TestDroppedMarkerOnOverflow pins the explicit-loss contract: a
+// subscriber that overflows its buffer receives an EventDropped marker
+// carrying the gap size as soon as it has room again, instead of a
+// silent skip.
+func TestDroppedMarkerOnOverflow(t *testing.T) {
+	b := newBroadcaster(0)
+	_, sub := b.subscribe()
+
+	const overflow = 3
+	for i := 0; i < subscriberBuffer+overflow; i++ {
+		b.publish(EventTelemetry, i)
+	}
+	got := drainAvailable(sub)
+	if len(got) != subscriberBuffer {
+		t.Fatalf("buffered %d frames, want %d", len(got), subscriberBuffer)
+	}
+	for _, ev := range got {
+		if ev.kind == EventDropped {
+			t.Fatal("marker arrived before the subscriber had lost anything it could know about")
+		}
+	}
+
+	// Room again: the next publish owes the marker first, then itself.
+	b.publish(EventTelemetry, "after")
+	got = drainAvailable(sub)
+	if len(got) != 2 {
+		t.Fatalf("%d frames after recovery, want marker + event", len(got))
+	}
+	if got[0].kind != EventDropped {
+		t.Fatalf("first frame after recovery is %s, want %s", got[0].kind, EventDropped)
+	}
+	if d := got[0].data.(DroppedEvent); d.Count != overflow {
+		t.Fatalf("marker count %d, want %d", d.Count, overflow)
+	}
+	if got[1].kind != EventTelemetry || got[1].data != "after" {
+		t.Fatalf("second frame after recovery: %+v", got[1])
+	}
+}
+
+// TestReplayRing pins the late-subscriber contract: the ring replays
+// everything while it fits and announces the evicted prefix with a
+// dropped marker once it no longer reaches the stream's start.
+func TestReplayRing(t *testing.T) {
+	const limit = 8
+	b := newBroadcaster(limit)
+	for i := 0; i < limit; i++ {
+		b.publish(EventScenario, i)
+	}
+	replay, sub := b.subscribe()
+	b.unsubscribe(sub)
+	if len(replay) != limit {
+		t.Fatalf("replay of a full-but-unevicted ring: %d frames, want %d", len(replay), limit)
+	}
+	for i, ev := range replay {
+		if ev.data != i {
+			t.Fatalf("replay[%d] = %v, out of publish order", i, ev.data)
+		}
+	}
+
+	// Push two frames out of the window.
+	b.publish(EventScenario, limit)
+	b.publish(EventScenario, limit+1)
+	replay, sub = b.subscribe()
+	b.unsubscribe(sub)
+	if len(replay) != limit+1 {
+		t.Fatalf("evicted-ring replay: %d frames, want marker + %d", len(replay), limit)
+	}
+	if replay[0].kind != EventDropped || replay[0].data.(DroppedEvent).Count != 2 {
+		t.Fatalf("evicted-ring replay head: %+v", replay[0])
+	}
+	if replay[1].data != 2 || replay[len(replay)-1].data != limit+1 {
+		t.Fatalf("evicted-ring replay window: first %v last %v", replay[1].data, replay[len(replay)-1].data)
+	}
+
+	// Replay survives close (terminal jobs): channel closed, history
+	// intact.
+	b.close()
+	replay, sub = b.subscribe()
+	if len(replay) != limit+1 {
+		t.Fatalf("post-close replay: %d frames", len(replay))
+	}
+	if _, ok := <-sub.ch; ok {
+		t.Fatal("post-close subscription channel not closed")
+	}
+}
+
+// TestSeededReplay pins the restored-job path: seeded history replays
+// like published history, with the caller's evicted count surfacing as
+// a marker.
+func TestSeededReplay(t *testing.T) {
+	b := newBroadcaster(4)
+	b.seed([]event{{kind: EventScenario, data: "a"}, {kind: EventScenario, data: "b"}}, 5)
+	b.close()
+	replay, _ := b.subscribe()
+	if len(replay) != 3 || replay[0].kind != EventDropped || replay[0].data.(DroppedEvent).Count != 5 {
+		t.Fatalf("seeded replay: %+v", replay)
+	}
+	if replay[1].data != "a" || replay[2].data != "b" {
+		t.Fatalf("seeded replay order: %+v", replay)
+	}
+}

@@ -1,13 +1,16 @@
 package serve
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
 	"darco/export"
 	"darco/internal/workload"
+	"darco/store"
 )
 
 // apiError is the JSON error envelope every non-2xx response carries.
@@ -44,6 +47,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/export.html", s.handleExport("html"))
 	mux.HandleFunc("GET /api/v1/profiles", s.handleProfiles)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -52,7 +56,14 @@ func (s *Server) routes() *http.ServeMux {
 const maxSubmitBytes = 1 << 20
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	spec, err := s.decodeSubmit(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	// The body is buffered whole before parsing: the raw bytes are the
+	// submission's durable representation — journaled with the job and
+	// replayed through this same validator after a restart.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	var spec *jobSpec
+	if err == nil {
+		spec, err = s.decodeSubmit(bytes.NewReader(raw))
+	}
 	if err != nil {
 		code := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
@@ -62,7 +73,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
-	j, err := s.submit(spec)
+	j, err := s.submit(spec, raw)
 	switch {
 	case errors.Is(err, errQueueFull):
 		// Backpressure: the queue is bounded so load sheds at the
@@ -118,22 +129,31 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !j.status().State.Terminal() {
+		// Journaled before the cancel takes effect: if the daemon dies
+		// before the job observes its context (it may still be deep in
+		// the queue), the restarted daemon must not re-run a job the
+		// client already cancelled.
+		s.journal(store.Record{Kind: store.KindCancelRequested, Job: j.id})
+	}
 	j.cancel()
 	writeJSON(w, http.StatusOK, j.status())
 }
 
-// handleExport renders a terminal job's stored CampaignReport in the
+// handleExport renders a terminal job's stored scenario rows in the
 // requested format, with darco/export's deterministic defaults:
 // export.json and export.csv bytes for a completed job match an
-// offline export of the same scenarios. ?wall=1 opts into wall-clock
-// metrics.
+// offline export of the same scenarios, and a job restored from the
+// durable store serves the same bytes the pre-restart daemon would
+// have. ?wall=1 opts into wall-clock metrics (served from the stored
+// wall-inclusive rows).
 func (s *Server) handleExport(format string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		j, ok := s.lookup(w, r)
 		if !ok {
 			return
 		}
-		rep, err := j.result()
+		rows, wallMS, parallelism, err := j.resultRows()
 		if err != nil {
 			writeError(w, http.StatusConflict, "%v", err)
 			return
@@ -141,20 +161,27 @@ func (s *Server) handleExport(format string) http.HandlerFunc {
 		var opts []export.Option
 		if r.URL.Query().Get("wall") == "1" {
 			opts = append(opts, export.WithWallTimes())
+		} else {
+			rows = export.StripWall(rows)
 		}
 		switch format {
 		case "json":
+			doc := export.NewRowReport(rows)
+			if len(opts) > 0 {
+				doc.WallMS = wallMS
+				doc.Workers = parallelism
+			}
 			w.Header().Set("Content-Type", "application/json")
-			err = export.WriteJSON(w, rep, opts...)
+			err = export.WriteReport(w, doc)
 		case "csv":
 			w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-			err = export.WriteCSV(w, rep, opts...)
+			err = export.WriteCSVRows(w, rows, opts...)
 		case "ndjson":
 			w.Header().Set("Content-Type", "application/x-ndjson")
-			err = export.WriteNDJSON(w, rep, opts...)
+			err = export.WriteNDJSONRows(w, rows)
 		case "html":
 			w.Header().Set("Content-Type", "text/html; charset=utf-8")
-			err = export.WriteHTML(w, rep, opts...)
+			err = export.WriteHTMLRows(w, rows, opts...)
 		}
 		if err != nil {
 			// Headers are gone; all we can do is drop the connection.
@@ -163,10 +190,13 @@ func (s *Server) handleExport(format string) http.HandlerFunc {
 	}
 }
 
-// handleEvents streams a job's live frames as SSE (default) or NDJSON
-// (?format=ndjson). The stream opens with a state snapshot, carries
-// scenario/telemetry/state frames while the job runs, and ends with a
-// final state frame once the job is terminal.
+// handleEvents streams a job's frames as SSE (default) or NDJSON
+// (?format=ndjson). The stream opens with a state snapshot, then the
+// replayed prefix of frames the subscriber missed (bounded by the
+// replay ring — a ring that no longer reaches the start is announced
+// with an EventDropped marker), then live scenario/telemetry/state
+// frames while the job runs, ending with a final state frame once the
+// job is terminal.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(w, r)
 	if !ok {
@@ -186,18 +216,24 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Subscribe before snapshotting so no frame between the snapshot
-	// and the loop is lost; state frames are idempotent snapshots, so
-	// the duplicate a subscribe/transition race can produce is safe.
-	ch := j.events.subscribe()
-	defer j.events.unsubscribe(ch)
+	// The replay snapshot and the live registration are atomic in the
+	// broadcaster, so no frame is lost or duplicated between them;
+	// state frames are idempotent snapshots, so the duplicate a
+	// subscribe/transition race can produce is safe.
+	replay, sub := j.events.subscribe()
+	defer j.events.unsubscribe(sub)
 	if err := writeFrame(w, ndjson, EventState, j.status()); err != nil {
 		return
+	}
+	for _, ev := range replay {
+		if err := writeFrame(w, ndjson, ev.kind, ev.data); err != nil {
+			return
+		}
 	}
 	flush()
 	for {
 		select {
-		case ev, open := <-ch:
+		case ev, open := <-sub.ch:
 			if !open {
 				// Terminal: re-send the final status so even a consumer
 				// whose buffer dropped the transition sees the outcome.
@@ -245,9 +281,42 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.opts.Workers,
 		QueueDepth:    len(s.queue),
-		QueueCapacity: cap(s.queue),
+		QueueCapacity: s.opts.QueueCapacity,
 		Jobs:          len(s.jobs.list()),
 	})
+}
+
+// handleMetrics serves a Prometheus-style plain-text exposition of the
+// daemon's operational state: jobs by state, queue pressure, scenario
+// throughput, and stream fan-out. No client library — the format is
+// lines of `name{labels} value`, which fmt writes fine.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	states := []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled, JobInterrupted}
+	byState := make(map[JobState]int, len(states))
+	var scenarios, completed, failed, subscribers int
+	jobs := s.jobs.list()
+	for _, j := range jobs {
+		st := j.status()
+		byState[st.State]++
+		scenarios += st.Scenarios
+		completed += st.Completed
+		failed += st.Failed
+		subscribers += j.events.subscriberCount()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP darco_jobs Campaign jobs by lifecycle state.\n# TYPE darco_jobs gauge\n")
+	for _, st := range states {
+		fmt.Fprintf(w, "darco_jobs{state=%q} %d\n", st, byState[st])
+	}
+	fmt.Fprintf(w, "# HELP darco_jobs_total Jobs ever registered (restored history included).\n# TYPE darco_jobs_total counter\ndarco_jobs_total %d\n", len(jobs))
+	fmt.Fprintf(w, "# HELP darco_scenarios_total Scenarios enrolled across all jobs.\n# TYPE darco_scenarios_total counter\ndarco_scenarios_total %d\n", scenarios)
+	fmt.Fprintf(w, "# HELP darco_scenarios_completed_total Scenarios finished across all jobs.\n# TYPE darco_scenarios_completed_total counter\ndarco_scenarios_completed_total %d\n", completed)
+	fmt.Fprintf(w, "# HELP darco_scenarios_failed_total Scenarios finished with an error.\n# TYPE darco_scenarios_failed_total counter\ndarco_scenarios_failed_total %d\n", failed)
+	fmt.Fprintf(w, "# HELP darco_event_subscribers Open event-stream subscriptions.\n# TYPE darco_event_subscribers gauge\ndarco_event_subscribers %d\n", subscribers)
+	fmt.Fprintf(w, "# HELP darco_queue_depth Jobs waiting for a worker.\n# TYPE darco_queue_depth gauge\ndarco_queue_depth %d\n", len(s.queue))
+	fmt.Fprintf(w, "# HELP darco_queue_capacity Job queue capacity.\n# TYPE darco_queue_capacity gauge\ndarco_queue_capacity %d\n", s.opts.QueueCapacity)
+	fmt.Fprintf(w, "# HELP darco_workers Concurrent campaign workers.\n# TYPE darco_workers gauge\ndarco_workers %d\n", s.opts.Workers)
+	fmt.Fprintf(w, "# HELP darco_uptime_seconds Daemon uptime.\n# TYPE darco_uptime_seconds gauge\ndarco_uptime_seconds %g\n", time.Since(s.start).Seconds())
 }
 
 // logf reports server-side failures that have no HTTP channel left

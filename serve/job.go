@@ -3,15 +3,17 @@ package serve
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
-	darco "darco"
+	"darco/export"
 )
 
 // JobState is a campaign job's lifecycle state. Jobs move
 // queued → running → one of the terminal states (done, failed,
-// cancelled); there are no other transitions.
+// cancelled, interrupted); there are no other transitions.
 type JobState string
 
 // Job lifecycle states.
@@ -29,11 +31,16 @@ const (
 	// JobCancelled: the job was stopped by a cancel request or server
 	// shutdown. A partially-run campaign's report is retained.
 	JobCancelled JobState = "cancelled"
+	// JobInterrupted: the job was mid-run when the daemon died; a
+	// restarted daemon restored it from the durable store with the
+	// scenario rows that completed before the crash preserved, and
+	// never-finished scenarios marked interrupted in its exports.
+	JobInterrupted JobState = "interrupted"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == JobDone || s == JobFailed || s == JobCancelled
+	return s == JobDone || s == JobFailed || s == JobCancelled || s == JobInterrupted
 }
 
 // JobStatus is the wire representation of a job's current state — what
@@ -59,10 +66,15 @@ type JobStatus struct {
 }
 
 // job is the server-side job record. Mutable fields are guarded by mu;
-// the spec and id are immutable after submit.
+// the identity fields are immutable after submit. A job restored from
+// the durable store in a terminal state carries no spec — only its
+// identity, status and result rows.
 type job struct {
-	id   string
-	spec *jobSpec
+	id        string
+	name      string
+	scenarios int
+	spec      *jobSpec // nil for terminal restored jobs
+	raw       []byte   // the submission body as journaled
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -71,12 +83,18 @@ type job struct {
 	mu        sync.Mutex
 	state     JobState
 	err       error
-	report    *darco.CampaignReport
 	completed int
 	failed    int
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+
+	// Terminal result: the full scenario-order row set with wall
+	// metrics included (the superset every export view derives from),
+	// plus the campaign-level wall fields.
+	rows        []export.Row
+	wallMS      float64
+	parallelism int
 }
 
 // status snapshots the job under its lock.
@@ -85,9 +103,9 @@ func (j *job) status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID:          j.id,
-		Name:        j.spec.name,
+		Name:        j.name,
 		State:       j.state,
-		Scenarios:   len(j.spec.scenarios),
+		Scenarios:   j.scenarios,
 		Completed:   j.completed,
 		Failed:      j.failed,
 		SubmittedAt: j.submitted,
@@ -106,53 +124,82 @@ func (j *job) status() JobStatus {
 	return st
 }
 
-// result returns the stored campaign report, or an error while the job
-// has not produced one yet.
-func (j *job) result() (*darco.CampaignReport, error) {
+// resultRows returns the stored result rows (wall metrics included)
+// and campaign wall fields, or an error while the job has not produced
+// them yet.
+func (j *job) resultRows() (rows []export.Row, wallMS float64, parallelism int, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.report == nil {
-		return nil, fmt.Errorf("job %s is %s: no results yet", j.id, j.state)
+	if j.rows == nil {
+		return nil, 0, 0, fmt.Errorf("job %s is %s: no results yet", j.id, j.state)
 	}
-	return j.report, nil
+	return j.rows, j.wallMS, j.parallelism, nil
 }
 
-// store is the concurrency-safe job registry. Jobs are never evicted:
+// markCancelled moves a not-yet-terminal job to JobCancelled with the
+// given reason; returns false if it was already terminal.
+func (j *job) markCancelled(reason error) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = JobCancelled
+	j.err = reason
+	j.finished = time.Now()
+	j.mu.Unlock()
+	return true
+}
+
+// registry is the concurrency-safe job index. Jobs are never evicted:
 // a campaign daemon's job count is human-scale, and results must stay
 // fetchable after completion.
-type store struct {
+type registry struct {
 	mu    sync.Mutex
 	jobs  map[string]*job
 	order []*job
 	next  int
 }
 
-func newStore() *store {
-	return &store{jobs: make(map[string]*job)}
+func newRegistry() *registry {
+	return &registry{jobs: make(map[string]*job)}
 }
 
 // add registers j under a fresh sequential id ("job-1", "job-2", ...).
-func (st *store) add(j *job) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.next++
-	j.id = fmt.Sprintf("job-%d", st.next)
-	st.jobs[j.id] = j
-	st.order = append(st.order, j)
+func (rg *registry) add(j *job) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	rg.next++
+	j.id = fmt.Sprintf("job-%d", rg.next)
+	rg.jobs[j.id] = j
+	rg.order = append(rg.order, j)
 }
 
-func (st *store) get(id string) (*job, bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	j, ok := st.jobs[id]
+// restore registers a recovered job under its journaled id, keeping
+// the sequential counter ahead of every restored id so new submissions
+// never collide with history.
+func (rg *registry) restore(j *job) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	rg.jobs[j.id] = j
+	rg.order = append(rg.order, j)
+	if n, err := strconv.Atoi(strings.TrimPrefix(j.id, "job-")); err == nil && n > rg.next {
+		rg.next = n
+	}
+}
+
+func (rg *registry) get(id string) (*job, bool) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	j, ok := rg.jobs[id]
 	return j, ok
 }
 
 // list returns every job in submission order.
-func (st *store) list() []*job {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	out := make([]*job, len(st.order))
-	copy(out, st.order)
+func (rg *registry) list() []*job {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	out := make([]*job, len(rg.order))
+	copy(out, rg.order)
 	return out
 }

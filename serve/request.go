@@ -116,28 +116,35 @@ type jobSpec struct {
 	telemetryInterval uint64
 }
 
-// decodeSubmit parses and validates a submission body against the
-// server's limits.
-func (s *Server) decodeSubmit(r io.Reader) (*jobSpec, error) {
+// parseSubmit decodes a submission body without validating it against
+// any server's limits — the syntactic half of decodeSubmit, shared
+// with the recovery path (which re-derives scenario rosters from
+// journaled submissions).
+func parseSubmit(r io.Reader) (*SubmitRequest, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var req SubmitRequest
 	if err := dec.Decode(&req); err != nil {
 		return nil, fmt.Errorf("invalid request body: %w", err)
 	}
-	return s.buildSpec(&req)
+	// Exactly one JSON value: trailing garbage would parse here but
+	// poison the journaled raw body (a json.RawMessage must be valid
+	// JSON), so it is rejected before the job can be accepted.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, fmt.Errorf("invalid request body: trailing data after the JSON object")
+	}
+	return &req, nil
 }
 
-// buildSpec validates a submission and compiles it to scenarios plus a
-// ready engine.
-func (s *Server) buildSpec(req *SubmitRequest) (*jobSpec, error) {
-	spec := &jobSpec{name: req.Name}
-
+// roster expands the request's suite and explicit scenario list into
+// the campaign roster, validating profiles and scales.
+func (req *SubmitRequest) roster() ([]darco.Scenario, error) {
+	var out []darco.Scenario
 	if req.Suite != nil {
 		if req.Suite.Scale < 0 {
 			return nil, fmt.Errorf("suite scale %g is negative", req.Suite.Scale)
 		}
-		spec.scenarios = append(spec.scenarios, darco.SuiteScenarios(req.Suite.Scale)...)
+		out = append(out, darco.SuiteScenarios(req.Suite.Scale)...)
 	}
 	for i, sc := range req.Scenarios {
 		p, ok := workload.ByName(sc.Profile)
@@ -147,12 +154,31 @@ func (s *Server) buildSpec(req *SubmitRequest) (*jobSpec, error) {
 		if sc.Scale < 0 {
 			return nil, fmt.Errorf("scenario %d: scale %g is negative", i, sc.Scale)
 		}
-		spec.scenarios = append(spec.scenarios, darco.Scenario{
-			Name: sc.Name, Profile: p, Scale: sc.Scale,
-		})
+		out = append(out, darco.Scenario{Name: sc.Name, Profile: p, Scale: sc.Scale})
 	}
-	if len(spec.scenarios) == 0 {
+	if len(out) == 0 {
 		return nil, fmt.Errorf("no scenarios: set \"suite\" and/or \"scenarios\"")
+	}
+	return out, nil
+}
+
+// decodeSubmit parses and validates a submission body against the
+// server's limits.
+func (s *Server) decodeSubmit(r io.Reader) (*jobSpec, error) {
+	req, err := parseSubmit(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.buildSpec(req)
+}
+
+// buildSpec validates a submission and compiles it to scenarios plus a
+// ready engine.
+func (s *Server) buildSpec(req *SubmitRequest) (*jobSpec, error) {
+	spec := &jobSpec{name: req.Name}
+	var err error
+	if spec.scenarios, err = req.roster(); err != nil {
+		return nil, err
 	}
 	if limit := s.opts.MaxScenarios; limit > 0 && len(spec.scenarios) > limit {
 		return nil, fmt.Errorf("%d scenarios exceed the server limit of %d", len(spec.scenarios), limit)

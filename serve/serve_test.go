@@ -541,6 +541,7 @@ func TestSubmitValidation(t *testing.T) {
 		name, body, wantErr string
 	}{
 		{"bad json", `{`, "invalid request body"},
+		{"trailing garbage", `{"scenarios":[{"profile":"429.mcf"}]}x`, "trailing data"},
 		{"unknown field", `{"scenario":[{"profile":"429.mcf"}]}`, "unknown field"},
 		{"no scenarios", `{}`, "no scenarios"},
 		{"unknown profile", `{"scenarios":[{"profile":"999.nope"}]}`, `unknown profile`},
@@ -615,8 +616,10 @@ func TestEngineSpecApplied(t *testing.T) {
 	}
 }
 
-// TestEventsAfterCompletion: a late subscriber gets the snapshot plus
-// final state and the stream ends instead of hanging.
+// TestEventsAfterCompletion: a late subscriber to a terminal job gets
+// the snapshot, the replayed event history (the scenario row it
+// missed), and the final state — then the stream ends instead of
+// hanging.
 func TestEventsAfterCompletion(t *testing.T) {
 	_, ts := newTestServer(t, serve.Options{})
 	st := submit(t, ts.URL, `{"scenarios":[{"profile":"429.mcf","scale":0.05}]}`, http.StatusAccepted)
@@ -629,10 +632,21 @@ func TestEventsAfterCompletion(t *testing.T) {
 		if len(frames) == 0 {
 			t.Fatal("no frames for a completed job")
 		}
+		var scenarioFrames int
 		for _, f := range frames {
-			if f.kind != serve.EventState {
-				t.Errorf("late subscription produced a %s frame", f.kind)
+			if f.kind == serve.EventScenario {
+				var ev serve.ScenarioEvent
+				if err := json.Unmarshal(f.data, &ev); err != nil {
+					t.Fatalf("bad replayed scenario frame: %v", err)
+				}
+				if ev.Index != 0 || ev.Row.Scenario != "429.mcf" {
+					t.Errorf("replayed scenario frame: %+v", ev)
+				}
+				scenarioFrames++
 			}
+		}
+		if scenarioFrames != 1 {
+			t.Errorf("replay delivered %d scenario frames, want 1", scenarioFrames)
 		}
 		var last serve.JobStatus
 		if err := json.Unmarshal(frames[len(frames)-1].data, &last); err != nil {

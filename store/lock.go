@@ -1,0 +1,58 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+)
+
+// dirLock guards a data directory against double-opens: two daemons
+// appending to one journal would interleave frames and corrupt it.
+//
+// The guard is a flock(2) on a LOCK file, so it is crash-safe by
+// construction: the kernel drops the lock when the owning process dies,
+// and a stale LOCK file left behind by a SIGKILLed daemon never blocks
+// the next open. The owning pid is written into the file purely as a
+// diagnostic for humans (and for the error message of a losing open).
+type dirLock struct {
+	f *os.File
+}
+
+func lockDir(dir string) (*dirLock, error) {
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		owner := "unknown process"
+		if raw, rerr := os.ReadFile(path); rerr == nil && len(raw) > 0 {
+			owner = strings.TrimSpace(string(raw))
+		}
+		f.Close()
+		return nil, fmt.Errorf("store: %s is locked by %s: %w", dir, owner, err)
+	}
+	// Held. Refresh the diagnostic pid; failures here are cosmetic.
+	if err := f.Truncate(0); err == nil {
+		fmt.Fprintf(f, "pid %d\n", os.Getpid())
+		f.Sync()
+	}
+	return &dirLock{f: f}, nil
+}
+
+// release drops the lock. The LOCK file itself is left in place — it
+// is the lock's rendezvous point, and removing it would race a
+// concurrent open.
+func (l *dirLock) release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	err := syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

@@ -1,0 +1,338 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"darco/export"
+	"darco/telemetry"
+)
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func mustAppend(t *testing.T, st *Store, rec Record) {
+	t.Helper()
+	if err := st.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func at(sec int) time.Time { return time.Unix(1700000000+int64(sec), 0).UTC() }
+
+// appendLifecycle journals a complete two-scenario job.
+func appendLifecycle(t *testing.T, st *Store, id string) {
+	t.Helper()
+	mustAppend(t, st, Record{Kind: KindSubmitted, Job: id, Time: at(0), Submitted: &SubmittedRecord{
+		Name: "n-" + id, Scenarios: 2, Request: json.RawMessage(`{"scenarios":[{"profile":"429.mcf"}]}`),
+	}})
+	mustAppend(t, st, Record{Kind: KindStarted, Job: id, Time: at(1)})
+	for i := 0; i < 2; i++ {
+		mustAppend(t, st, Record{Kind: KindRow, Job: id, Time: at(2 + i), Row: &RowRecord{
+			Index: i, Row: export.Row{Scenario: "429.mcf", Suite: "SPECint", Scale: 1,
+				GuestInsns: uint64(1000 + i), Overhead: map[string]uint64{"interp": 5}, WallMS: 1.5},
+		}})
+	}
+	mustAppend(t, st, Record{Kind: KindTelemetry, Job: id, Time: at(4), Telemetry: &TelemetryRecord{
+		Index: 0, Scenario: "429.mcf", Window: telemetry.Window{Insns: 100, Simple: 100},
+	}})
+	mustAppend(t, st, Record{Kind: KindFinished, Job: id, Time: at(5), Finished: &FinishedRecord{
+		State: "done", WallMS: 12.5, Parallelism: 2,
+	}})
+}
+
+func TestRoundTripAndCompactionAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	appendLifecycle(t, st, "job-1")
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, dir)
+	defer st2.Close()
+	rec := st2.Recovery()
+	if rec.Jobs != 1 || rec.JournalRecords != 6 || rec.Compacted != 1 || rec.Corrupt != "" {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	jobs := st2.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("%d jobs recovered", len(jobs))
+	}
+	h := jobs[0]
+	if h.ID != "job-1" || h.Name != "n-job-1" || h.State != "done" || !h.Terminal() {
+		t.Fatalf("history: %+v", h)
+	}
+	if h.Scenarios != 2 || len(h.Rows) != 2 || h.Rows[1].Row.GuestInsns != 1001 {
+		t.Fatalf("rows: %+v", h.Rows)
+	}
+	if h.WallMS != 12.5 || h.Parallelism != 2 {
+		t.Fatalf("finished payload: %+v", h)
+	}
+	if !h.SubmittedAt.Equal(at(0)) || !h.StartedAt.Equal(at(1)) || !h.FinishedAt.Equal(at(5)) {
+		t.Fatalf("timestamps: %v %v %v", h.SubmittedAt, h.StartedAt, h.FinishedAt)
+	}
+	if len(h.Records) != 6 {
+		t.Fatalf("%d records in history", len(h.Records))
+	}
+
+	// The terminal job was compacted at open: snapshot on disk, journal
+	// back to bare header.
+	if _, err := os.Stat(filepath.Join(dir, "job-1.snap")); err != nil {
+		t.Fatalf("no snapshot after compaction at open: %v", err)
+	}
+	if raw, _ := os.ReadFile(filepath.Join(dir, journalName)); len(raw) != len(journalMagic) {
+		t.Fatalf("journal holds %d bytes, want bare header (%d)", len(raw), len(journalMagic))
+	}
+
+	// Third open loads from the snapshot alone.
+	st2.Close()
+	st3 := mustOpen(t, dir)
+	defer st3.Close()
+	if rec := st3.Recovery(); rec.SnapshotJobs != 1 || rec.Jobs != 1 || rec.JournalRecords != 0 {
+		t.Fatalf("snapshot-only recovery: %+v", rec)
+	}
+	if h := st3.Jobs()[0]; h.State != "done" || len(h.Rows) != 2 {
+		t.Fatalf("snapshot history: %+v", h)
+	}
+}
+
+func TestCompactJobTruncatesJournal(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	defer st.Close()
+	appendLifecycle(t, st, "job-1")
+	mustAppend(t, st, Record{Kind: KindSubmitted, Job: "job-2", Time: at(9), Submitted: &SubmittedRecord{
+		Scenarios: 1, Request: json.RawMessage(`{}`),
+	}})
+
+	if err := st.CompactJob("job-2"); err == nil {
+		t.Fatal("compacting a queued job did not fail")
+	}
+	if err := st.CompactJob("job-1"); err != nil {
+		t.Fatal(err)
+	}
+	// job-2 is still live, so the journal must keep its records.
+	if raw, _ := os.ReadFile(filepath.Join(dir, journalName)); len(raw) <= len(journalMagic) {
+		t.Fatal("journal lost the live job's records")
+	}
+	// Idempotent on an already-snapshotted job.
+	if err := st.CompactJob("job-1"); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, st, Record{Kind: KindFinished, Job: "job-2", Time: at(10), Finished: &FinishedRecord{State: "cancelled"}})
+	if err := st.CompactJob("job-2"); err != nil {
+		t.Fatal(err)
+	}
+	if raw, _ := os.ReadFile(filepath.Join(dir, journalName)); len(raw) != len(journalMagic) {
+		t.Fatalf("journal holds %d bytes after last live job compacted", len(raw))
+	}
+}
+
+// frameOffsets parses the journal's framing and returns each record's
+// start offset (absolute, header included) plus the file length.
+func frameOffsets(t *testing.T, path string) ([]int, int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int
+	off := len(journalMagic)
+	for off < len(raw) {
+		offs = append(offs, off)
+		size := int(binary.LittleEndian.Uint32(raw[off : off+4]))
+		off += recHeaderSize + size
+	}
+	if off != len(raw) {
+		t.Fatalf("journal framing does not tile the file: %d vs %d", off, len(raw))
+	}
+	return offs, len(raw)
+}
+
+// TestTruncatedTailRecord: a journal cut mid-record (the crash case —
+// an append that never finished) salvages every complete record and
+// reports the dropped suffix.
+func TestTruncatedTailRecord(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	// No terminal record: the job stays journal-resident.
+	mustAppend(t, st, Record{Kind: KindSubmitted, Job: "job-1", Time: at(0), Submitted: &SubmittedRecord{
+		Scenarios: 2, Request: json.RawMessage(`{}`)}})
+	mustAppend(t, st, Record{Kind: KindStarted, Job: "job-1", Time: at(1)})
+	mustAppend(t, st, Record{Kind: KindRow, Job: "job-1", Time: at(2), Row: &RowRecord{
+		Index: 0, Row: export.Row{Scenario: "x", GuestInsns: 7}}})
+	st.Close()
+
+	path := filepath.Join(dir, journalName)
+	offs, size := frameOffsets(t, path)
+	if len(offs) != 3 {
+		t.Fatalf("%d records journaled", len(offs))
+	}
+	// Cut inside the last record's payload.
+	if err := os.Truncate(path, int64(size-5)); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, dir)
+	defer st2.Close()
+	rec := st2.Recovery()
+	if rec.JournalRecords != 2 || !strings.Contains(rec.Corrupt, "truncated") {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	if want := int64(size-5) - int64(offs[2]); rec.DiscardedBytes != want {
+		t.Fatalf("discarded %d bytes, want %d", rec.DiscardedBytes, want)
+	}
+	h := st2.Jobs()[0]
+	if h.State != "running" || len(h.Rows) != 0 {
+		t.Fatalf("salvaged history: state %s, %d rows", h.State, len(h.Rows))
+	}
+	// The store stays appendable: the journal was rewritten to the
+	// intact prefix.
+	mustAppend(t, st2, Record{Kind: KindFinished, Job: "job-1", Time: at(3), Finished: &FinishedRecord{State: "cancelled"}})
+	st2.Close()
+	st3 := mustOpen(t, dir)
+	defer st3.Close()
+	if h := st3.Jobs()[0]; h.State != "cancelled" {
+		t.Fatalf("state after post-salvage append: %s", h.State)
+	}
+}
+
+// TestCRCMismatchMidJournal: a flipped byte in the middle of the
+// journal keeps the records before it and discards it plus everything
+// after (framing beyond a corrupt record cannot be trusted).
+func TestCRCMismatchMidJournal(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	mustAppend(t, st, Record{Kind: KindSubmitted, Job: "job-1", Time: at(0), Submitted: &SubmittedRecord{
+		Scenarios: 2, Request: json.RawMessage(`{}`)}})
+	mustAppend(t, st, Record{Kind: KindStarted, Job: "job-1", Time: at(1)})
+	for i := 0; i < 2; i++ {
+		mustAppend(t, st, Record{Kind: KindRow, Job: "job-1", Time: at(2 + i), Row: &RowRecord{
+			Index: i, Row: export.Row{Scenario: "x", GuestInsns: uint64(i)}}})
+	}
+	st.Close()
+
+	path := filepath.Join(dir, journalName)
+	offs, size := frameOffsets(t, path)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of record 2 (the first row).
+	raw[offs[2]+recHeaderSize+3] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := st2.Recovery()
+	if rec.JournalRecords != 2 || !strings.Contains(rec.Corrupt, "checksum mismatch") {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	if want := int64(size - offs[2]); rec.DiscardedBytes != want {
+		t.Fatalf("discarded %d bytes, want %d (both rows)", rec.DiscardedBytes, want)
+	}
+	h := st2.Jobs()[0]
+	if h.State != "running" || len(h.Rows) != 0 {
+		t.Fatalf("salvaged history: state %s, %d rows", h.State, len(h.Rows))
+	}
+}
+
+// TestStaleLockDoesNotBlock: a LOCK file left behind by a SIGKILLed
+// process (no flock held) must not prevent the next open, while a held
+// lock must.
+func TestStaleLockDoesNotBlock(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "LOCK"), []byte("pid 99999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := mustOpen(t, dir) // stale lock: acquires
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("double-open of a held store succeeded")
+	} else if !strings.Contains(err.Error(), "locked by") {
+		t.Fatalf("double-open error: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := mustOpen(t, dir) // released: reacquires
+	st2.Close()
+}
+
+// TestBadSnapshotDiscarded: a damaged snapshot is ignored wholesale
+// and reported, without failing the open.
+func TestBadSnapshotDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	appendLifecycle(t, st, "job-1")
+	if err := st.CompactJob("job-1"); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	snap := filepath.Join(dir, "job-1.snap")
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(snap, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, dir)
+	defer st2.Close()
+	rec := st2.Recovery()
+	if len(rec.DiscardedSnapshots) != 1 || rec.DiscardedSnapshots[0] != "job-1.snap" {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	if rec.Jobs != 0 {
+		t.Fatalf("%d jobs from a corrupt snapshot", rec.Jobs)
+	}
+}
+
+// TestSyncPolicies just exercises each policy end to end.
+func TestSyncPolicies(t *testing.T) {
+	for _, sp := range []SyncPolicy{SyncLifecycle, SyncAlways, SyncNone} {
+		dir := t.TempDir()
+		st, err := Open(dir, Options{Sync: sp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendLifecycle(t, st, "job-1")
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st2 := mustOpen(t, dir)
+		if h := st2.Jobs()[0]; h.State != "done" {
+			t.Fatalf("policy %d: state %s", sp, h.State)
+		}
+		st2.Close()
+	}
+}
+
+// TestAppendAfterCloseFails pins the closed-store contract the serve
+// layer relies on during shutdown races.
+func TestAppendAfterCloseFails(t *testing.T) {
+	st := mustOpen(t, t.TempDir())
+	st.Close()
+	if err := st.Append(Record{Kind: KindStarted, Job: "job-1"}); err == nil {
+		t.Fatal("append on a closed store succeeded")
+	}
+}
