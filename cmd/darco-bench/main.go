@@ -54,8 +54,13 @@ func main() {
 		csvPath    = flag.String("csv", "", "stream the suite campaign as CSV to this file")
 		ndjsonPath = flag.String("ndjson", "", "stream the suite campaign as NDJSON rows to this file")
 		htmlPath   = flag.String("html", "", "write the suite campaign's static HTML dashboard to this file")
+		version    = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("darco-bench", darco.Version)
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

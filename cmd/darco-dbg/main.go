@@ -17,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 
+	darco "darco"
 	"darco/internal/controller"
 	"darco/internal/debug"
 	"darco/internal/ir"
@@ -30,8 +31,13 @@ func main() {
 		inject    = flag.Bool("inject", false, "plant a translator bug to find")
 		minLen    = flag.Int("inject-minlen", 40, "minimum region size the planted bug corrupts")
 		listing   = flag.Bool("listing", false, "print the faulty region's IR and host code")
+		version   = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("darco-dbg", darco.Version)
+		return
+	}
 
 	p, ok := workload.ByName(*benchName)
 	if !ok {

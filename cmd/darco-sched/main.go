@@ -1,0 +1,126 @@
+// Command darco-sched runs the DARCO fleet coordinator: an HTTP daemon
+// that accepts the same campaign submissions as darco-served, shards
+// them across a pool of darco-served workers, and merges the gathered
+// results into exports byte-identical to a single-node run.
+//
+// Usage:
+//
+//	darco-sched -addr :9090 -worker http://node1:8080 -worker http://node2:8080
+//	darco-sched -addr :9090 -retries 6 -probe 2s
+//
+// Quickstart against a running coordinator:
+//
+//	curl -s localhost:9090/api/v1/jobs -d '{"suite":{"scale":0.1}}'
+//	curl -s localhost:9090/api/v1/jobs/job-1
+//	curl -N localhost:9090/api/v1/jobs/job-1/events
+//	curl -s localhost:9090/api/v1/jobs/job-1/export.csv
+//	curl -s localhost:9090/api/v1/workers
+//
+// Workers can also self-register at runtime:
+//
+//	curl -s localhost:9090/api/v1/workers -d '{"url":"http://node3:8080"}'
+//
+// Worker death mid-campaign is survived: the coordinator re-dispatches
+// only the scenarios it has not yet gathered to the remaining workers,
+// with capped exponential backoff. If the pool is exhausted the job
+// ends in the terminal "degraded" state with the never-run scenarios
+// marked as errors in its exports.
+//
+// SIGINT/SIGTERM shut the coordinator down gracefully: submissions are
+// rejected, running federated jobs (and their worker-side shard jobs)
+// are cancelled, and the process exits once the runners drain (bounded
+// by -grace).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	darco "darco"
+	"darco/sched"
+)
+
+// workerList collects repeatable -worker flags.
+type workerList []string
+
+func (l *workerList) String() string { return fmt.Sprint([]string(*l)) }
+func (l *workerList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var workers workerList
+	var (
+		addr    = flag.String("addr", ":9090", "listen address")
+		jobs    = flag.Int("jobs", 1, "concurrent federated campaigns")
+		queue   = flag.Int("queue", 16, "job queue capacity (waiting jobs beyond it get 429)")
+		maxScen = flag.Int("max-scenarios", 0, "max scenarios per submission (0 = unlimited)")
+		shards  = flag.Int("max-shards", 0, "max shards per job (0 = one per healthy worker)")
+		retries = flag.Int("retries", 4, "fruitless placement attempts per shard before the job degrades")
+		probe   = flag.Duration("probe", 5*time.Second, "worker health-probe interval")
+		grace   = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget")
+		version = flag.Bool("version", false, "print the version and exit")
+	)
+	flag.Var(&workers, "worker", "worker base URL (repeatable), e.g. http://node1:8080")
+	flag.Parse()
+	if *version {
+		fmt.Println("darco-sched", darco.Version)
+		return
+	}
+
+	logger := log.New(os.Stderr, "darco-sched: ", log.LstdFlags)
+	coord, err := sched.New(sched.Options{
+		Workers:       workers,
+		Jobs:          *jobs,
+		QueueCapacity: *queue,
+		MaxScenarios:  *maxScen,
+		MaxShards:     *shards,
+		ShardRetries:  *retries,
+		ProbeInterval: *probe,
+		Logf:          logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	hs := &http.Server{Addr: *addr, Handler: coord}
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (%d workers registered)", *addr, len(workers))
+		errc <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		logger.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down (grace %s)...", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Drain the federated jobs first — cancelling them ends any open
+	// /events streams and cancels the worker-side shard jobs — then
+	// close the listener.
+	if err := coord.Shutdown(shutCtx); err != nil {
+		logger.Fatalf("job shutdown: %v", err)
+	}
+	if err := hs.Shutdown(shutCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serve: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "darco-sched: bye")
+}

@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	darco "darco"
 	"darco/serve"
 	"darco/store"
 )
@@ -54,8 +55,14 @@ func main() {
 		data    = flag.String("data", "", "durable store directory (empty = in-memory only)")
 		fsync   = flag.String("fsync", "lifecycle", "journal fsync policy with -data: lifecycle, always or none")
 		grace   = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget")
+		id      = flag.String("worker-id", "", "worker id reported in /healthz (default <hostname>-<pid>)")
+		version = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("darco-served", darco.Version)
+		return
+	}
 
 	logger := log.New(os.Stderr, "darco-served: ", log.LstdFlags)
 	opts := serve.Options{
@@ -63,6 +70,7 @@ func main() {
 		QueueCapacity:  *queue,
 		MaxParallelism: *maxPar,
 		MaxScenarios:   *maxScen,
+		WorkerID:       *id,
 		Logf:           logger.Printf,
 	}
 	if *data != "" {

@@ -44,9 +44,14 @@ func main() {
 		progress  = flag.Bool("progress", false, "stream progress snapshots to stderr")
 		list      = flag.Bool("list", false, "list available workloads and exit")
 		showOut   = flag.Bool("output", false, "print the guest program's output bytes")
+		version   = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println("darco", darco.Version)
+		return
+	}
 	if *list {
 		for _, p := range workload.Suites() {
 			fmt.Printf("%-18s %s\n", p.Name, p.Suite)

@@ -399,33 +399,42 @@ func csvQuote(f string) string {
 	return string(append(out, '"'))
 }
 
-// rowSequencer is the reordering core shared by the streaming writers
-// (CSVStream, NDJSONStream): it accepts rows in completion order and
-// hands them to a format-specific write function strictly in scenario
-// order, so streamed bytes are identical at any campaign parallelism.
-type rowSequencer struct {
-	format  string // for error messages: "csv", "ndjson"
-	cfg     config
-	write   func(*Row) error
+// Sequencer is the row-reordering core behind every incremental export
+// path: it accepts pre-flattened rows keyed by scenario index in any
+// completion order and hands them to a write function strictly in
+// scenario order, flushing the contiguous completed prefix as it
+// grows. The streaming writers (CSVStream, NDJSONStream) are built on
+// it, and the sched coordinator merges rows gathered from many worker
+// daemons through it — which is why a federated campaign's exports
+// come out byte-identical to a single-node run's at any sharding.
+//
+// A Sequencer is not goroutine-safe; callers that feed it from
+// concurrent gatherers serialize Put themselves.
+type Sequencer struct {
+	label   string // for error messages: "csv", "ndjson", "sched"
+	write   func(i int, row *Row) error
 	pending []*Row
 	next    int
 	err     error
 }
 
-func newRowSequencer(format string, n int, cfg config, write func(*Row) error) *rowSequencer {
-	return &rowSequencer{format: format, cfg: cfg, write: write, pending: make([]*Row, n)}
+// NewSequencer prepares to sequence n rows into write, which is called
+// exactly once per index in strictly increasing order.
+func NewSequencer(label string, n int, write func(i int, row *Row) error) *Sequencer {
+	return &Sequencer{label: label, write: write, pending: make([]*Row, n)}
 }
 
-// done records scenario i's outcome and flushes the contiguous
-// completed prefix.
-func (s *rowSequencer) done(i int, sr *darco.ScenarioResult) {
-	if s.err != nil || i < 0 || i >= len(s.pending) {
+// Put records row as scenario i's outcome and flushes the contiguous
+// completed prefix. Out-of-range indices and repeats of an
+// already-flushed index are ignored; a repeat of a still-pending index
+// overwrites it.
+func (s *Sequencer) Put(i int, row Row) {
+	if s.err != nil || i < s.next || i >= len(s.pending) {
 		return
 	}
-	row := newRow(sr, &s.cfg)
 	s.pending[i] = &row
 	for s.next < len(s.pending) && s.pending[s.next] != nil {
-		if err := s.write(s.pending[s.next]); err != nil {
+		if err := s.write(s.next, s.pending[s.next]); err != nil {
 			s.err = err
 			return
 		}
@@ -434,16 +443,36 @@ func (s *rowSequencer) done(i int, sr *darco.ScenarioResult) {
 	}
 }
 
-// close reports whether every row was delivered and written.
-func (s *rowSequencer) close() error {
+// Close reports whether every row was delivered and written.
+func (s *Sequencer) Close() error {
 	if s.err != nil {
 		return s.err
 	}
 	if s.next != len(s.pending) {
-		return fmt.Errorf("export: %s stream closed after %d of %d rows", s.format, s.next, len(s.pending))
+		return fmt.Errorf("export: %s stream closed after %d of %d rows", s.label, s.next, len(s.pending))
 	}
 	return nil
 }
+
+// rowSequencer adapts the Sequencer to the campaign-hook shape the
+// streaming writers use: ScenarioResults arrive from WithScenarioDone
+// and are flattened with the stream's options before sequencing.
+type rowSequencer struct {
+	cfg config
+	seq *Sequencer
+}
+
+func newRowSequencer(format string, n int, cfg config, write func(*Row) error) *rowSequencer {
+	return &rowSequencer{cfg: cfg, seq: NewSequencer(format, n, func(_ int, row *Row) error {
+		return write(row)
+	})}
+}
+
+func (s *rowSequencer) done(i int, sr *darco.ScenarioResult) {
+	s.seq.Put(i, newRow(sr, &s.cfg))
+}
+
+func (s *rowSequencer) close() error { return s.seq.Close() }
 
 // CSVStream writes campaign rows incrementally as scenarios finish,
 // emitting records strictly in scenario order regardless of completion

@@ -1,0 +1,282 @@
+// Package stream is the event fan-out core shared by the campaign
+// daemons: a broadcaster that queues frames to any number of
+// subscribers without ever blocking a publisher, a bounded replay ring
+// so late subscribers receive the prefix they missed, explicit-loss
+// markers for consumers that cannot keep up, and the HTTP framing
+// (SSE or NDJSON) both darco-served and darco-sched stream through.
+//
+// The package deals in opaque frame kinds and payloads; the daemons
+// define the wire-visible event vocabulary (state, scenario,
+// telemetry) on top. The one kind owned here is KindDropped, the
+// loss-marker frame the broadcaster itself emits.
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// KindDropped is the frame kind of a loss marker: its payload is a
+// DroppedEvent carrying how many frames are missing at that point of
+// the stream — a subscriber that could not drain fast enough, or a
+// replay window that no longer reaches back to the stream's start.
+const KindDropped = "dropped"
+
+// DroppedEvent is the payload of a dropped marker.
+type DroppedEvent struct {
+	Count uint64 `json:"dropped"`
+}
+
+// SubscriberBuffer is each subscriber's channel depth. A subscriber
+// that cannot drain this many frames loses the newest ones, but the
+// loss is explicit: the next frame it receives is a KindDropped marker
+// carrying the gap size.
+const SubscriberBuffer = 256
+
+// DefaultReplayLimit bounds the replay history when the broadcaster's
+// caller does not choose one.
+const DefaultReplayLimit = 1024
+
+// Subscriber is one stream consumer: its frame channel plus the count
+// of frames dropped since it last kept up, owed to it as a marker.
+type Subscriber struct {
+	ch      chan Event
+	dropped uint64
+}
+
+// C is the subscriber's receive channel; it closes when the
+// broadcaster closes.
+func (s *Subscriber) C() <-chan Event { return s.ch }
+
+// Event is one frame queued for a broadcaster's subscribers.
+type Event struct {
+	Kind string
+	Data any // immutable snapshot, shared across subscribers
+}
+
+// Broadcaster fans event frames out to any number of subscribers and
+// keeps a bounded replay ring of everything published, so late
+// subscribers receive the event prefix they missed instead of joining
+// lossily mid-stream. Publishing never blocks on a slow subscriber.
+type Broadcaster struct {
+	mu     sync.Mutex
+	subs   map[*Subscriber]struct{}
+	closed bool
+
+	// replay ring: history holds up to limit frames, oldest at start
+	// (wrapping once full); evicted counts frames pushed out of the
+	// window.
+	limit   int
+	history []Event
+	start   int
+	evicted uint64
+}
+
+// NewBroadcaster builds a broadcaster whose replay ring holds up to
+// replayLimit frames (< 1 selects DefaultReplayLimit).
+func NewBroadcaster(replayLimit int) *Broadcaster {
+	if replayLimit < 1 {
+		replayLimit = DefaultReplayLimit
+	}
+	return &Broadcaster{subs: make(map[*Subscriber]struct{}), limit: replayLimit}
+}
+
+// record pushes ev into the replay ring. Caller holds b.mu.
+func (b *Broadcaster) record(ev Event) {
+	if len(b.history) < b.limit {
+		b.history = append(b.history, ev)
+		return
+	}
+	b.history[b.start] = ev
+	b.start = (b.start + 1) % b.limit
+	b.evicted++
+}
+
+// replay snapshots the ring in publish order, preceded by a dropped
+// marker when the window no longer reaches the stream's start. Caller
+// holds b.mu.
+func (b *Broadcaster) replay() []Event {
+	out := make([]Event, 0, len(b.history)+1)
+	if b.evicted > 0 {
+		out = append(out, Event{Kind: KindDropped, Data: DroppedEvent{Count: b.evicted}})
+	}
+	out = append(out, b.history[b.start:]...)
+	return append(out, b.history[:b.start]...)
+}
+
+// Seed pre-populates the replay ring with a restored stream's history;
+// evicted is the count of events the caller already knows were trimmed
+// before these.
+func (b *Broadcaster) Seed(evs []Event, evicted uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.evicted += evicted
+	for _, ev := range evs {
+		b.record(ev)
+	}
+}
+
+// Subscribe registers a new subscriber and returns the replay prefix
+// it missed plus its live channel. On an already-closed broadcaster
+// the channel comes back closed, so the consumer writes the replay and
+// its drain loop ends immediately. The snapshot and the registration
+// are atomic: no frame is ever in both, and none falls between them.
+func (b *Broadcaster) Subscribe() ([]Event, *Subscriber) {
+	sub := &Subscriber{ch: make(chan Event, SubscriberBuffer)}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	replay := b.replay()
+	if b.closed {
+		close(sub.ch)
+		return replay, sub
+	}
+	b.subs[sub] = struct{}{}
+	return replay, sub
+}
+
+// Unsubscribe removes sub; safe after Close.
+func (b *Broadcaster) Unsubscribe(sub *Subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.subs, sub)
+}
+
+// SubscriberCount reports the open subscription count (for /metrics).
+func (b *Broadcaster) SubscriberCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Publish queues one frame to every subscriber and the replay ring. A
+// subscriber whose buffer is full misses the frame, but the miss is
+// owed to it: the next time its buffer has room it first receives a
+// KindDropped marker carrying how many frames it lost.
+func (b *Broadcaster) Publish(kind string, data any) {
+	b.publish(Event{Kind: kind, Data: data}, true)
+}
+
+// PublishTransient queues one frame without recording it in the replay
+// ring — for idempotent snapshot frames (job-state transitions) that
+// every new stream re-derives anyway, where replaying stale copies
+// would only make a late subscriber's view regress.
+func (b *Broadcaster) PublishTransient(kind string, data any) {
+	b.publish(Event{Kind: kind, Data: data}, false)
+}
+
+func (b *Broadcaster) publish(ev Event, record bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	if record {
+		b.record(ev)
+	}
+	for sub := range b.subs {
+		if sub.dropped > 0 {
+			select {
+			case sub.ch <- Event{Kind: KindDropped, Data: DroppedEvent{Count: sub.dropped}}:
+				sub.dropped = 0
+			default:
+				sub.dropped++
+				continue
+			}
+		}
+		select {
+		case sub.ch <- ev:
+		default: // slow subscriber: drop rather than stall the publisher
+			sub.dropped++
+		}
+	}
+}
+
+// Close ends every subscriber's stream. The replay ring survives, so
+// late subscribers still get the history. Publishing after Close is a
+// no-op.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for sub := range b.subs {
+		close(sub.ch)
+	}
+	b.subs = nil
+}
+
+// WriteFrame writes one event frame in SSE framing ("event:"/"data:"
+// lines and a blank-line terminator) or, when ndjson is set, as one
+// {"event":...,"data":...} line.
+func WriteFrame(w io.Writer, ndjson bool, kind string, data any) error {
+	blob, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	if ndjson {
+		_, err = fmt.Fprintf(w, "{\"event\":%q,\"data\":%s}\n", kind, blob)
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", kind, blob)
+	return err
+}
+
+// ServeStream is the HTTP half both daemons share: it streams b's
+// frames to the client as SSE (default) or NDJSON (?format=ndjson).
+// The stream opens with a fresh stateKind snapshot from state, then
+// the replayed prefix the subscriber missed, then live frames; when
+// the broadcaster closes, the final state is re-sent — so even a
+// consumer whose buffer dropped the transition sees the outcome — and
+// the handler returns.
+func ServeStream(w http.ResponseWriter, r *http.Request, b *Broadcaster, stateKind string, state func() any) {
+	flusher, canFlush := w.(http.Flusher)
+	ndjson := r.URL.Query().Get("format") == "ndjson"
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+	}
+	flush := func() {
+		if canFlush {
+			flusher.Flush()
+		}
+	}
+
+	// The replay snapshot and the live registration are atomic in the
+	// broadcaster, so no frame is lost or duplicated between them;
+	// state frames are idempotent snapshots, so the duplicate a
+	// subscribe/transition race can produce is safe.
+	replay, sub := b.Subscribe()
+	defer b.Unsubscribe(sub)
+	if err := WriteFrame(w, ndjson, stateKind, state()); err != nil {
+		return
+	}
+	for _, ev := range replay {
+		if err := WriteFrame(w, ndjson, ev.Kind, ev.Data); err != nil {
+			return
+		}
+	}
+	flush()
+	for {
+		select {
+		case ev, open := <-sub.ch:
+			if !open {
+				WriteFrame(w, ndjson, stateKind, state())
+				flush()
+				return
+			}
+			if err := WriteFrame(w, ndjson, ev.Kind, ev.Data); err != nil {
+				return
+			}
+			flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

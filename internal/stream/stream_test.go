@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"testing"
+)
+
+// drainAvailable empties whatever is buffered on sub without blocking.
+func drainAvailable(sub *Subscriber) []Event {
+	var out []Event
+	for {
+		select {
+		case ev, ok := <-sub.ch:
+			if !ok {
+				return out
+			}
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+// TestDroppedMarkerOnOverflow pins the explicit-loss contract: a
+// subscriber that overflows its buffer receives a KindDropped marker
+// carrying the gap size as soon as it has room again, instead of a
+// silent skip.
+func TestDroppedMarkerOnOverflow(t *testing.T) {
+	b := NewBroadcaster(0)
+	_, sub := b.Subscribe()
+
+	const overflow = 3
+	for i := 0; i < SubscriberBuffer+overflow; i++ {
+		b.Publish("telemetry", i)
+	}
+	got := drainAvailable(sub)
+	if len(got) != SubscriberBuffer {
+		t.Fatalf("buffered %d frames, want %d", len(got), SubscriberBuffer)
+	}
+	for _, ev := range got {
+		if ev.Kind == KindDropped {
+			t.Fatal("marker arrived before the subscriber had lost anything it could know about")
+		}
+	}
+
+	// Room again: the next publish owes the marker first, then itself.
+	b.Publish("telemetry", "after")
+	got = drainAvailable(sub)
+	if len(got) != 2 {
+		t.Fatalf("%d frames after recovery, want marker + event", len(got))
+	}
+	if got[0].Kind != KindDropped {
+		t.Fatalf("first frame after recovery is %s, want %s", got[0].Kind, KindDropped)
+	}
+	if d := got[0].Data.(DroppedEvent); d.Count != overflow {
+		t.Fatalf("marker count %d, want %d", d.Count, overflow)
+	}
+	if got[1].Kind != "telemetry" || got[1].Data != "after" {
+		t.Fatalf("second frame after recovery: %+v", got[1])
+	}
+}
+
+// TestReplayRing pins the late-subscriber contract: the ring replays
+// everything while it fits and announces the evicted prefix with a
+// dropped marker once it no longer reaches the stream's start.
+func TestReplayRing(t *testing.T) {
+	const limit = 8
+	b := NewBroadcaster(limit)
+	for i := 0; i < limit; i++ {
+		b.Publish("scenario", i)
+	}
+	replay, sub := b.Subscribe()
+	b.Unsubscribe(sub)
+	if len(replay) != limit {
+		t.Fatalf("replay of a full-but-unevicted ring: %d frames, want %d", len(replay), limit)
+	}
+	for i, ev := range replay {
+		if ev.Data != i {
+			t.Fatalf("replay[%d] = %v, out of publish order", i, ev.Data)
+		}
+	}
+
+	// Push two frames out of the window.
+	b.Publish("scenario", limit)
+	b.Publish("scenario", limit+1)
+	replay, sub = b.Subscribe()
+	b.Unsubscribe(sub)
+	if len(replay) != limit+1 {
+		t.Fatalf("evicted-ring replay: %d frames, want marker + %d", len(replay), limit)
+	}
+	if replay[0].Kind != KindDropped || replay[0].Data.(DroppedEvent).Count != 2 {
+		t.Fatalf("evicted-ring replay head: %+v", replay[0])
+	}
+	if replay[1].Data != 2 || replay[len(replay)-1].Data != limit+1 {
+		t.Fatalf("evicted-ring replay window: first %v last %v", replay[1].Data, replay[len(replay)-1].Data)
+	}
+
+	// Replay survives close (terminal jobs): channel closed, history
+	// intact.
+	b.Close()
+	replay, sub = b.Subscribe()
+	if len(replay) != limit+1 {
+		t.Fatalf("post-close replay: %d frames", len(replay))
+	}
+	if _, ok := <-sub.ch; ok {
+		t.Fatal("post-close subscription channel not closed")
+	}
+}
+
+// TestSeededReplay pins the restored-stream path: seeded history
+// replays like published history, with the caller's evicted count
+// surfacing as a marker.
+func TestSeededReplay(t *testing.T) {
+	b := NewBroadcaster(4)
+	b.Seed([]Event{{Kind: "scenario", Data: "a"}, {Kind: "scenario", Data: "b"}}, 5)
+	b.Close()
+	replay, _ := b.Subscribe()
+	if len(replay) != 3 || replay[0].Kind != KindDropped || replay[0].Data.(DroppedEvent).Count != 5 {
+		t.Fatalf("seeded replay: %+v", replay)
+	}
+	if replay[1].Data != "a" || replay[2].Data != "b" {
+		t.Fatalf("seeded replay order: %+v", replay)
+	}
+}
+
+// TestTransientFramesStayOutOfReplay: PublishTransient frames reach
+// live subscribers but are not recorded for late ones.
+func TestTransientFramesStayOutOfReplay(t *testing.T) {
+	b := NewBroadcaster(8)
+	_, live := b.Subscribe()
+	b.PublishTransient("state", "running")
+	b.Publish("scenario", 0)
+	got := drainAvailable(live)
+	if len(got) != 2 || got[0].Kind != "state" || got[1].Kind != "scenario" {
+		t.Fatalf("live subscriber frames: %+v", got)
+	}
+	replay, late := b.Subscribe()
+	b.Unsubscribe(late)
+	if len(replay) != 1 || replay[0].Kind != "scenario" {
+		t.Fatalf("replay should hold only the recorded frame: %+v", replay)
+	}
+}

@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	darco "darco"
+	"darco/export"
+	"darco/internal/stream"
+	"darco/serve"
+)
+
+// JobDegraded is the coordinator-only terminal state: the worker pool
+// was exhausted (every placement attempt for some shard failed, past
+// the retry cap) and the federated campaign finished with synthesized
+// error rows for the scenarios that were never gathered. It extends
+// the serve.JobState lifecycle; serve.ParseStateFilter accepts it so
+// one ?state= grammar covers both daemons.
+const JobDegraded = serve.JobState("degraded")
+
+// terminal reports whether st is final in the coordinator's extended
+// lifecycle (the serve terminals plus degraded).
+func terminal(st serve.JobState) bool {
+	return st.Terminal() || st == JobDegraded
+}
+
+// job is a federated campaign: the parsed submission, its global
+// scenario roster, the shard plan, and the merged result assembled
+// from worker event streams. Row merging goes through an
+// export.Sequencer keyed on global scenario index, so the coordinator
+// emits rows in exactly the order a single-node campaign would —
+// the byte-identity contract for every export format.
+type job struct {
+	id     string
+	name   string
+	req    *serve.SubmitRequest
+	roster []darco.Scenario
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	events *stream.Broadcaster
+
+	shards []*shard
+
+	mu        sync.Mutex
+	state     serve.JobState
+	err       error
+	completed int
+	failed    int
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// gathered marks global scenario indices whose row is committed;
+	// rows is the scenario-order result the sequencer flushes into.
+	// ready flips when the merged row set is complete and exportable.
+	gathered []bool
+	rows     []export.Row
+	seq      *export.Sequencer
+	ready    bool
+	wallMS   float64
+}
+
+func newJob(req *serve.SubmitRequest, roster []darco.Scenario, parent context.Context, replayLimit int) *job {
+	ctx, cancel := context.WithCancel(parent)
+	n := len(roster)
+	j := &job{
+		name:      req.Name,
+		req:       req,
+		roster:    roster,
+		ctx:       ctx,
+		cancel:    cancel,
+		events:    stream.NewBroadcaster(replayLimit),
+		state:     serve.JobQueued,
+		submitted: time.Now(),
+		gathered:  make([]bool, n),
+		rows:      make([]export.Row, n),
+	}
+	j.seq = export.NewSequencer("federated", n, func(i int, row *export.Row) error {
+		j.rows[i] = *row
+		return nil
+	})
+	return j
+}
+
+// commit delivers the row for global scenario index i, exactly once.
+// It returns false if the index was already gathered (a duplicate from
+// a reconnected stream or a harvest overlapping live events). On
+// success the row enters the sequencer (flushing any now-contiguous
+// prefix into rows), progress counters advance, and a scenario event
+// is published on the federated stream.
+func (j *job) commit(i int, row export.Row) bool {
+	j.mu.Lock()
+	if j.gathered[i] {
+		j.mu.Unlock()
+		return false
+	}
+	j.gathered[i] = true
+	j.seq.Put(i, row)
+	j.completed++
+	if row.Error != "" {
+		j.failed++
+	}
+	j.mu.Unlock()
+	j.events.Publish(serve.EventScenario, serve.ScenarioEvent{Job: j.id, Index: i, Row: row})
+	return true
+}
+
+// missingOf filters indices down to those not yet gathered.
+func (j *job) missingOf(indices []int) []int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []int
+	for _, i := range indices {
+		if !j.gathered[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// status snapshots the job under its lock.
+func (j *job) status() serve.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := serve.JobStatus{
+		ID:          j.id,
+		Name:        j.name,
+		State:       j.state,
+		Scenarios:   len(j.roster),
+		Completed:   j.completed,
+		Failed:      j.failed,
+		SubmittedAt: j.submitted,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// resultRows returns the merged scenario-order rows once the job is
+// terminal, with the coordinator-measured campaign wall time and the
+// shard count standing in for worker parallelism.
+func (j *job) resultRows() (rows []export.Row, wallMS float64, shards int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.ready {
+		return nil, 0, 0, fmt.Errorf("job %s is %s: no results yet", j.id, j.state)
+	}
+	return j.rows, j.wallMS, len(j.shards), nil
+}
+
+// markCancelled moves a not-yet-terminal job to cancelled; returns
+// false if it was already terminal.
+func (j *job) markCancelled(reason error) bool {
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = serve.JobCancelled
+	j.err = reason
+	j.finished = time.Now()
+	j.mu.Unlock()
+	return true
+}
+
+// registry is the coordinator's concurrency-safe job index. Like the
+// worker daemon's, it never evicts: results must stay fetchable.
+type registry struct {
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []*job
+	next  int
+}
+
+func newRegistry() *registry {
+	return &registry{jobs: make(map[string]*job)}
+}
+
+func (rg *registry) add(j *job) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	rg.next++
+	j.id = fmt.Sprintf("job-%d", rg.next)
+	rg.jobs[j.id] = j
+	rg.order = append(rg.order, j)
+}
+
+func (rg *registry) get(id string) (*job, bool) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	j, ok := rg.jobs[id]
+	return j, ok
+}
+
+func (rg *registry) list() []*job {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	out := make([]*job, len(rg.order))
+	copy(out, rg.order)
+	return out
+}

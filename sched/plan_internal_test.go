@@ -1,0 +1,56 @@
+package sched
+
+import "testing"
+
+// TestPlanShards pins the contiguity contract the harvest path relies
+// on: shards cover 0..n-1 in order, near-evenly, with the remainder
+// spread over the leading shards.
+func TestPlanShards(t *testing.T) {
+	cases := []struct {
+		n, k  int
+		sizes []int
+	}{
+		{n: 10, k: 3, sizes: []int{4, 3, 3}},
+		{n: 6, k: 3, sizes: []int{2, 2, 2}},
+		{n: 2, k: 5, sizes: []int{1, 1}}, // more workers than scenarios
+		{n: 5, k: 1, sizes: []int{5}},
+		{n: 3, k: 0, sizes: []int{3}}, // zero healthy workers still plans
+		{n: 1, k: 1, sizes: []int{1}},
+	}
+	for _, c := range cases {
+		shards := planShards(c.n, c.k)
+		if len(shards) != len(c.sizes) {
+			t.Errorf("planShards(%d, %d): %d shards, want %d", c.n, c.k, len(shards), len(c.sizes))
+			continue
+		}
+		next := 0
+		for i, sh := range shards {
+			if sh.idx != i {
+				t.Errorf("planShards(%d, %d): shard %d carries idx %d", c.n, c.k, i, sh.idx)
+			}
+			if len(sh.indices) != c.sizes[i] {
+				t.Errorf("planShards(%d, %d): shard %d has %d scenarios, want %d", c.n, c.k, i, len(sh.indices), c.sizes[i])
+			}
+			for _, gi := range sh.indices {
+				if gi != next {
+					t.Fatalf("planShards(%d, %d): shard %d not contiguous: got %d, want %d", c.n, c.k, i, gi, next)
+				}
+				next++
+			}
+		}
+		if next != c.n {
+			t.Errorf("planShards(%d, %d): covered %d scenarios", c.n, c.k, next)
+		}
+	}
+}
+
+func TestNormalizeWorkerURL(t *testing.T) {
+	if u, err := normalizeWorkerURL("http://host:8080/"); err != nil || u != "http://host:8080" {
+		t.Errorf("trailing slash: %q, %v", u, err)
+	}
+	for _, bad := range []string{"host:8080", "ftp://host", "http://", ""} {
+		if _, err := normalizeWorkerURL(bad); err == nil {
+			t.Errorf("normalizeWorkerURL(%q) accepted", bad)
+		}
+	}
+}

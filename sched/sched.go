@@ -1,0 +1,402 @@
+// Package sched is the fleet coordinator: an HTTP daemon that accepts
+// the same campaign submissions as darco/serve, shards the scenario
+// roster across a pool of darco-served workers, and merges the rows
+// they stream back into exports that are byte-identical to a
+// single-node run.
+//
+// # API
+//
+//	POST   /api/v1/jobs                submit a campaign (serve.SubmitRequest JSON) → 202 + JobStatus
+//	GET    /api/v1/jobs                list jobs (?state=queued,running,... filters)
+//	GET    /api/v1/jobs/{id}           one job's JobStatus
+//	POST   /api/v1/jobs/{id}/cancel    stop a job (also DELETE /api/v1/jobs/{id})
+//	GET    /api/v1/jobs/{id}/events    re-multiplexed live stream: SSE, or NDJSON with ?format=ndjson
+//	GET    /api/v1/jobs/{id}/export.json|csv|ndjson|html
+//	                                   merged results, same renderer as a worker
+//	GET    /api/v1/workers             the worker pool with health and placement counters
+//	POST   /api/v1/workers             register a worker ({"url": "http://host:port"})
+//	GET    /healthz                    liveness + pool summary
+//	GET    /metrics                    Prometheus-style exposition with per-worker counters
+//
+// # Why sharding preserves bytes
+//
+// Scenario rows carry only deterministic counters (darco's per-scenario
+// Stats are pinned at any parallelism), and every export format is
+// keyed on scenario order, not completion order. The coordinator
+// expands the submission's roster exactly like a worker would, splits
+// it into contiguous shards, and re-submits each shard as explicit
+// profile × scale × name scenarios; the worker reproduces exactly the
+// rows the same scenarios would have produced in one campaign. Merged
+// through an export.Sequencer on global scenario index, the federated
+// export.json, export.csv, export.ndjson, and export.html are
+// byte-identical to the single-node bytes (the default, wall-stripped
+// views; per-row wall metrics are not gathered, so ?wall=1 reports the
+// coordinator's campaign wall with zero per-row columns).
+//
+// # Robustness
+//
+// Workers are health-probed (GET /healthz) in the background and on
+// demand. A 429 from a worker's full queue backs the placement off
+// without blacklisting it; a transport error marks the worker
+// unhealthy until a probe sees it again. When a worker dies mid-shard
+// — or a restarted worker reports the shard job interrupted — the
+// coordinator re-dispatches only the scenarios whose rows it has not
+// yet gathered, on the next worker, with capped exponential backoff.
+// Rows from a shard that ended cancelled or interrupted are
+// quarantined if they carry errors (a restarted daemon synthesizes
+// error rows for never-finished scenarios; those must not leak into
+// the merged export), while errorless rows count immediately — that is
+// what "resuming from rows already gathered" means here. A shard that
+// exhausts its retry budget degrades the job: the campaign ends in the
+// coordinator-only "degraded" terminal state with synthesized error
+// rows for the scenarios no worker could run.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	darco "darco"
+	"darco/export"
+	"darco/serve"
+)
+
+// Options configures a Coordinator. The zero value runs one federated
+// campaign at a time over an empty pool (register workers via POST
+// /api/v1/workers).
+type Options struct {
+	// Workers are the static worker base URLs ("http://host:port")
+	// registered at startup; POST /api/v1/workers adds more at runtime.
+	Workers []string
+
+	// Jobs is how many federated campaigns run concurrently (min 1).
+	Jobs int
+
+	// QueueCapacity bounds how many accepted jobs may wait for a
+	// runner (min 1); beyond it, submissions get 429.
+	QueueCapacity int
+
+	// MaxScenarios rejects submissions whose roster exceeds it (0 =
+	// unlimited).
+	MaxScenarios int
+
+	// MaxShards caps how many shards one job fans out to (0 = one per
+	// healthy worker at plan time).
+	MaxShards int
+
+	// ShardRetries is how many consecutive fruitless placement
+	// attempts a shard survives before the job degrades (default 4;
+	// attempts that gather new rows reset the budget).
+	ShardRetries int
+
+	// RetryBaseDelay/RetryMaxDelay bound the exponential backoff
+	// between a shard's placement attempts (defaults 100ms and 5s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+
+	// ProbeInterval is the background health-probe period (default 5s).
+	ProbeInterval time.Duration
+
+	// RequestTimeout bounds every control-plane request to a worker —
+	// submit, status, probe, harvest, cancel. Event streams are not
+	// subject to it (default 15s).
+	RequestTimeout time.Duration
+
+	// ReplayBuffer bounds each federated job's event replay ring
+	// (< 1 selects the stream package default).
+	ReplayBuffer int
+
+	// Client overrides the HTTP client used for worker control-plane
+	// requests (tests). Event streams always use a timeout-free copy.
+	Client *http.Client
+
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Jobs < 1 {
+		o.Jobs = 1
+	}
+	if o.QueueCapacity < 1 {
+		o.QueueCapacity = 16
+	}
+	if o.ShardRetries < 1 {
+		o.ShardRetries = 4
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = 5 * time.Second
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 15 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// Coordinator is the fleet daemon: an http.Handler plus the job queue,
+// shard runners, and worker pool behind it. Create with New, serve it
+// with any net/http server, stop it with Shutdown.
+type Coordinator struct {
+	opts  Options
+	mux   *http.ServeMux
+	jobs  *registry
+	pool  *pool
+	start time.Time
+	id    string // coordinator instance id for /healthz
+
+	client       *http.Client // control plane; per-request timeouts via context
+	streamClient *http.Client // event streams; no overall timeout
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	queue   chan *job
+	closing bool
+}
+
+// New builds a Coordinator over the static worker list, probes it
+// once, and starts the runners and the background prober. It fails
+// only on malformed worker URLs — unreachable workers are fine, the
+// prober picks them up when they appear.
+func New(opts Options) (*Coordinator, error) {
+	c := &Coordinator{
+		opts:  opts.withDefaults(),
+		jobs:  newRegistry(),
+		pool:  newPool(),
+		start: time.Now(),
+	}
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "darco-sched"
+	}
+	c.id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	c.client = c.opts.Client
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	// Streams must outlive any client-level timeout; copy the
+	// transport but not the deadline.
+	c.streamClient = &http.Client{Transport: c.client.Transport}
+	for _, raw := range c.opts.Workers {
+		if _, _, err := c.pool.add(raw); err != nil {
+			return nil, err
+		}
+	}
+	c.baseCtx, c.stop = context.WithCancel(context.Background())
+	c.queue = make(chan *job, c.opts.QueueCapacity)
+	c.mux = c.routes()
+	c.probeAll(c.baseCtx)
+	for i := 0; i < c.opts.Jobs; i++ {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			for j := range c.queue {
+				c.runJob(j)
+			}
+		}()
+	}
+	c.wg.Add(1)
+	go c.prober()
+	return c, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// Shutdown stops the coordinator: new submissions are rejected, every
+// queued and running federated job is cancelled (and its worker-side
+// shard jobs cancelled best-effort), and the call waits — up to ctx —
+// for the runners to drain. Idempotent.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	already := c.closing
+	c.closing = true
+	if !already {
+		close(c.queue)
+	}
+	c.mu.Unlock()
+	c.stop()
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("sched: shutdown: %w", ctx.Err())
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	c.opts.Logf(format, args...)
+}
+
+// enqueue admits a validated job or reports why it cannot run now.
+func (c *Coordinator) enqueue(j *job) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closing {
+		return errClosing
+	}
+	select {
+	case c.queue <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+var (
+	errClosing   = fmt.Errorf("coordinator is shutting down")
+	errQueueFull = fmt.Errorf("job queue is full")
+)
+
+// runJob drives one federated campaign: plan shards over the healthy
+// pool, gather each shard concurrently, then settle the terminal state
+// and seal the merged row set.
+func (c *Coordinator) runJob(j *job) {
+	// Release the job's context registration in baseCtx once terminal.
+	defer j.cancel()
+	if err := j.ctx.Err(); err != nil {
+		// Cancelled (or coordinator stopping) while queued: never
+		// started, every row synthesized — mirroring the worker
+		// daemon's cancelled-while-queued outcome.
+		if j.markCancelled(fmt.Errorf("cancelled while queued: %w", err)) {
+			c.sealJob(j, j.allIndices())
+		}
+		j.events.Close()
+		return
+	}
+
+	j.mu.Lock()
+	j.state = serve.JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	j.events.PublishTransient(serve.EventState, j.status())
+
+	// Plan one shard per healthy worker (capped), so a fully-live pool
+	// takes one shard each; zero healthy workers still plan a single
+	// shard whose placement loop waits for the pool to come up.
+	healthy := c.pool.healthyCount()
+	if healthy == 0 {
+		healthy = c.probeAll(j.ctx)
+	}
+	k := healthy
+	if c.opts.MaxShards > 0 && k > c.opts.MaxShards {
+		k = c.opts.MaxShards
+	}
+	j.shards = planShards(len(j.roster), k)
+	c.logf("sched: %s running: %d scenarios in %d shards over %d healthy workers",
+		j.id, len(j.roster), len(j.shards), healthy)
+
+	shardErrs := make([]error, len(j.shards))
+	var wg sync.WaitGroup
+	for i, sh := range j.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			shardErrs[i] = c.runShard(j, sh)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	cancelled := j.ctx.Err() != nil
+	if cancelled {
+		for _, sh := range j.shards {
+			c.cancelShard(sh)
+		}
+	}
+
+	missing := j.missingOf(j.allIndices())
+	j.mu.Lock()
+	switch {
+	case cancelled:
+		if !terminal(j.state) { // cancel handler may have marked it already
+			j.state = serve.JobCancelled
+			if j.err == nil {
+				j.err = fmt.Errorf("cancelled: %w", j.ctx.Err())
+			}
+		}
+	case len(missing) > 0:
+		j.state = JobDegraded
+		for _, err := range shardErrs {
+			if err != nil {
+				j.err = fmt.Errorf("worker pool exhausted: %w", err)
+				break
+			}
+		}
+		if j.err == nil {
+			j.err = fmt.Errorf("worker pool exhausted")
+		}
+	case j.failed > 0:
+		j.state = serve.JobFailed
+		j.err = fmt.Errorf("%d of %d scenarios failed", j.failed, len(j.roster))
+	default:
+		j.state = serve.JobDone
+	}
+	j.mu.Unlock()
+
+	c.sealJob(j, missing)
+	st := j.status()
+	c.logf("sched: %s %s: %d/%d scenarios, %d failed", j.id, st.State, st.Completed, st.Scenarios, st.Failed)
+	j.events.PublishTransient(serve.EventState, st)
+	j.events.Close()
+}
+
+// sealJob synthesizes error rows for the scenarios no worker produced
+// (carrying the job's terminal reason, like the worker daemon's
+// interrupted/cancelled exports), closes the row sequencer, and marks
+// the merged result exportable.
+func (c *Coordinator) sealJob(j *job, missing []int) {
+	j.mu.Lock()
+	reason := j.err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	if reason == nil {
+		reason = fmt.Errorf("scenario never ran")
+	}
+	for _, gi := range missing {
+		row := export.NewRow(&darco.ScenarioResult{Scenario: j.roster[gi], Err: reason})
+		j.commit(gi, row)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.seq.Close(); err != nil {
+		// Unreachable by construction (missing covered every gap), but
+		// a hole must not produce a silently-short export.
+		c.logf("sched: %s: sealing merged rows: %v", j.id, err)
+	}
+	if !j.started.IsZero() {
+		j.wallMS = float64(j.finished.Sub(j.started).Nanoseconds()) / 1e6
+	}
+	j.ready = true
+}
+
+// allIndices returns 0..len(roster)-1.
+func (j *job) allIndices() []int {
+	out := make([]int, len(j.roster))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,478 @@
+package sched
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"darco/export"
+	"darco/serve"
+)
+
+// shard is one contiguous slice of a federated job's roster. Identity
+// (idx, indices) is immutable; placement and attempt bookkeeping are
+// guarded by mu.
+type shard struct {
+	idx     int
+	indices []int // global scenario indices, ascending and contiguous
+
+	mu        sync.Mutex
+	workerURL string // current/most recent placement
+	workerJob string // shard job id on that worker
+	attempts  int
+	lastErr   string
+}
+
+func (sh *shard) noteAttempt(workerURL string) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.attempts++
+	sh.workerURL = workerURL
+	sh.workerJob = ""
+	return sh.attempts
+}
+
+func (sh *shard) setPlacement(workerURL, workerJob string) {
+	sh.mu.Lock()
+	sh.workerURL = workerURL
+	sh.workerJob = workerJob
+	sh.mu.Unlock()
+}
+
+func (sh *shard) placement() (workerURL, workerJob string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.workerURL, sh.workerJob
+}
+
+func (sh *shard) setErr(err error) {
+	sh.mu.Lock()
+	sh.lastErr = err.Error()
+	sh.mu.Unlock()
+}
+
+// planShards splits n scenarios into k contiguous, near-even shards
+// (the first n%k shards get the extra scenario). Contiguity keeps each
+// worker's export.ndjson in global scenario order, so a harvested
+// shard maps back positionally.
+func planShards(n, k int) []*shard {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	shards := make([]*shard, 0, k)
+	base, extra := n/k, n%k
+	next := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		indices := make([]int, size)
+		for s := range indices {
+			indices[s] = next
+			next++
+		}
+		shards = append(shards, &shard{idx: i, indices: indices})
+	}
+	return shards
+}
+
+// errBusy marks a 429 from a worker: the worker is healthy but its
+// queue is full, so the attempt should back off and re-place without
+// counting against the worker's health.
+var errBusy = errors.New("worker queue full (429)")
+
+// shardBody builds the worker submission for one shard attempt: the
+// missing scenarios spelled out explicitly (profile/scale/name as the
+// coordinator's roster expansion produced them — the determinism
+// contract that makes the worker reproduce exactly the rows a
+// single-node run would), with the campaign knobs forwarded verbatim.
+func (c *Coordinator) shardBody(j *job, sh *shard, missing []int, attempt int) ([]byte, error) {
+	req := serve.SubmitRequest{
+		Name:              fmt.Sprintf("%s/shard-%d#%d", j.id, sh.idx, attempt),
+		Scenarios:         make([]serve.ScenarioSpec, 0, len(missing)),
+		Parallelism:       j.req.Parallelism,
+		ScenarioTimeoutMS: j.req.ScenarioTimeoutMS,
+		FailFast:          j.req.FailFast,
+		Engine:            j.req.Engine,
+		Telemetry:         j.req.Telemetry,
+	}
+	for _, gi := range missing {
+		sc := j.roster[gi]
+		req.Scenarios = append(req.Scenarios, serve.ScenarioSpec{
+			Profile: sc.Profile.Name,
+			Scale:   sc.Scale,
+			Name:    sc.Name,
+		})
+	}
+	return json.Marshal(&req)
+}
+
+// runShard drives one shard to completion: place it on a worker,
+// gather its rows from the live event stream, and on any failure
+// re-dispatch only the still-missing scenarios to another worker with
+// capped exponential backoff. Attempts that make progress (new rows
+// gathered) reset the failure budget, so a shard only gives up after
+// ShardRetries consecutive attempts that gathered nothing new.
+func (c *Coordinator) runShard(j *job, sh *shard) error {
+	failures := 0
+	var last *worker
+	var lastErr error
+	for {
+		missing := j.missingOf(sh.indices)
+		if len(missing) == 0 {
+			return nil
+		}
+		if err := j.ctx.Err(); err != nil {
+			return err
+		}
+
+		// Prefer a worker other than the one that just failed us; fall
+		// back to it if it is the only healthy one.
+		w := c.pool.pick(last)
+		if w == nil && last != nil {
+			w = c.pool.pick(nil)
+		}
+		if w == nil {
+			if c.probeAll(j.ctx) > 0 {
+				continue
+			}
+			failures++
+			lastErr = fmt.Errorf("no healthy workers for shard %d (%d scenarios missing)", sh.idx, len(missing))
+			if failures > c.opts.ShardRetries {
+				return lastErr
+			}
+			if err := c.backoff(j.ctx, failures); err != nil {
+				return err
+			}
+			continue
+		}
+
+		attempt := sh.noteAttempt(w.url)
+		err := c.attemptShard(j, sh, w, missing, attempt)
+		w.release()
+		if err == nil {
+			last = nil
+			continue // recompute missing; normally empty now
+		}
+		if ctxErr := j.ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		w.noteRetry()
+		sh.setErr(err)
+		c.logf("sched: %s shard %d attempt %d on %s: %v", j.id, sh.idx, attempt, w.url, err)
+		lastErr = err
+		last = w
+		if after := len(j.missingOf(sh.indices)); after < len(missing) {
+			failures = 0 // progress: rows were gathered before the failure
+		} else {
+			failures++
+		}
+		if failures > c.opts.ShardRetries {
+			return fmt.Errorf("shard %d exhausted after %d fruitless attempts: %w", sh.idx, failures, lastErr)
+		}
+		if err := c.backoff(j.ctx, failures); err != nil {
+			return err
+		}
+	}
+}
+
+// backoff sleeps base*2^(failures-1), capped, or returns early when
+// ctx ends.
+func (c *Coordinator) backoff(ctx context.Context, failures int) error {
+	d := c.opts.RetryBaseDelay
+	for i := 1; i < failures && d < c.opts.RetryMaxDelay; i++ {
+		d *= 2
+	}
+	if d > c.opts.RetryMaxDelay {
+		d = c.opts.RetryMaxDelay
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// attemptShard is one placement: submit the missing scenarios to w,
+// then gather rows until the shard job reaches a terminal state.
+func (c *Coordinator) attemptShard(j *job, sh *shard, w *worker, missing []int, attempt int) error {
+	body, err := c.shardBody(j, sh, missing, attempt)
+	if err != nil {
+		return err
+	}
+	wid, err := c.submitShard(j.ctx, w, body)
+	if err != nil {
+		return err
+	}
+	sh.setPlacement(w.url, wid)
+	w.notePlaced()
+	return c.gatherShard(j, w, wid, missing)
+}
+
+// submitShard POSTs one shard submission. A 429 comes back as errBusy
+// (healthy worker, full queue); a transport error marks the worker
+// unhealthy until the prober sees it again.
+func (c *Coordinator) submitShard(ctx context.Context, w *worker, body []byte) (string, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/api/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		w.markUnhealthy(err)
+		return "", fmt.Errorf("submit to %s: %w", w.url, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var st serve.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return "", fmt.Errorf("submit to %s: decoding 202 body: %w", w.url, err)
+		}
+		return st.ID, nil
+	case http.StatusTooManyRequests:
+		w.noteRejected()
+		return "", fmt.Errorf("submit to %s: %w", w.url, errBusy)
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return "", fmt.Errorf("submit to %s: status %d: %s", w.url, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+}
+
+// gatherShard consumes the shard job's event stream until it reports a
+// terminal state, committing rows into the federated merge as they
+// arrive. Errored rows are quarantined until the shard ends done or
+// failed: a shard that instead ends cancelled or interrupted (worker
+// died, restarted daemon synthesized "interrupted" rows) must not leak
+// those synthetic errors into the merged export — its missing
+// scenarios get re-dispatched and only genuinely-produced rows count.
+// A broken stream reconnects (the worker's replay ring resends the
+// prefix; commit dedupes) before the attempt is abandoned.
+func (c *Coordinator) gatherShard(j *job, w *worker, wid string, globals []int) error {
+	pending := make(map[int]export.Row)
+	for reconnects := 0; ; reconnects++ {
+		final, streamErr := c.consumeStream(j, w, wid, globals, pending)
+		if err := j.ctx.Err(); err != nil {
+			return err
+		}
+		if final == "" {
+			// Stream broke without a terminal frame. Ask the worker
+			// directly; a dead worker fails the attempt.
+			st, err := c.shardStatus(j.ctx, w, wid)
+			if err != nil {
+				w.markUnhealthy(err)
+				return fmt.Errorf("shard job %s on %s: stream broke (%v) and status check failed: %w", wid, w.url, streamErr, err)
+			}
+			final = st.State
+			if !st.State.Terminal() {
+				if reconnects >= 3 {
+					return fmt.Errorf("shard job %s on %s: stream broke %d times: %v", wid, w.url, reconnects+1, streamErr)
+				}
+				continue // job still live: reconnect and resume
+			}
+		}
+		switch final {
+		case serve.JobDone, serve.JobFailed:
+			// The shard ran to completion; its errored rows are genuine
+			// deterministic scenario failures, part of the campaign
+			// result.
+			for gi, row := range pending {
+				if j.commit(gi, row) {
+					w.noteRows(1)
+				}
+			}
+			return c.harvestShard(j, w, wid, globals)
+		default: // cancelled, interrupted
+			return fmt.Errorf("shard job %s on %s ended %s", wid, w.url, final)
+		}
+	}
+}
+
+// streamFrame is one NDJSON event-stream line as the worker frames it.
+type streamFrame struct {
+	Event string          `json:"event"`
+	Data  json.RawMessage `json:"data"`
+}
+
+// consumeStream reads one connection's worth of the shard job's NDJSON
+// event stream, mapping shard-local scenario indices through globals
+// into the federated job. It returns the terminal state if one was
+// seen, or "" with the transport error when the stream broke first.
+func (c *Coordinator) consumeStream(j *job, w *worker, wid string, globals []int, pending map[int]export.Row) (serve.JobState, error) {
+	req, err := http.NewRequestWithContext(j.ctx, http.MethodGet,
+		w.url+"/api/v1/jobs/"+wid+"/events?format=ndjson", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.streamClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("event stream for %s on %s: status %d", wid, w.url, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		var f streamFrame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return "", fmt.Errorf("event stream for %s on %s: bad frame: %v", wid, w.url, err)
+		}
+		switch f.Event {
+		case serve.EventState:
+			var st serve.JobStatus
+			if err := json.Unmarshal(f.Data, &st); err != nil {
+				return "", err
+			}
+			if st.State.Terminal() {
+				return st.State, nil
+			}
+		case serve.EventScenario:
+			var ev serve.ScenarioEvent
+			if err := json.Unmarshal(f.Data, &ev); err != nil {
+				return "", err
+			}
+			if ev.Index < 0 || ev.Index >= len(globals) {
+				continue
+			}
+			gi := globals[ev.Index]
+			if ev.Row.Error != "" {
+				pending[gi] = ev.Row
+			} else if j.commit(gi, ev.Row) {
+				w.noteRows(1)
+			}
+		case serve.EventTelemetry:
+			var ev serve.TelemetryEvent
+			if err := json.Unmarshal(f.Data, &ev); err != nil {
+				return "", err
+			}
+			if ev.Index < 0 || ev.Index >= len(globals) {
+				continue
+			}
+			j.events.Publish(serve.EventTelemetry, serve.TelemetryEvent{
+				Job:      j.id,
+				Index:    globals[ev.Index],
+				Scenario: ev.Scenario,
+				Window:   ev.Window,
+			})
+		}
+		// Dropped markers need no handling here: the post-terminal
+		// harvest fetches any rows the stream lost.
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+// shardStatus fetches a shard job's JobStatus from its worker.
+func (c *Coordinator) shardStatus(ctx context.Context, w *worker, wid string) (serve.JobStatus, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
+	defer cancel()
+	var st serve.JobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/api/v1/jobs/"+wid, nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status for %s on %s: %d", wid, w.url, resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// harvestShard backfills rows the event stream may have lost (dropped
+// frames under load) from the completed shard job's export.ndjson,
+// whose lines are in shard scenario order — i.e. positionally aligned
+// with globals. commit dedupes rows the stream already delivered.
+func (c *Coordinator) harvestShard(j *job, w *worker, wid string, globals []int) error {
+	if len(j.missingOf(globals)) == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(j.ctx, c.opts.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		w.url+"/api/v1/jobs/"+wid+"/export.ndjson", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("harvest %s from %s: %w", wid, w.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("harvest %s from %s: status %d", wid, w.url, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	k := 0
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		if k >= len(globals) {
+			return fmt.Errorf("harvest %s from %s: more rows than the %d submitted scenarios", wid, w.url, len(globals))
+		}
+		var row export.Row
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			return fmt.Errorf("harvest %s from %s: row %d: %v", wid, w.url, k, err)
+		}
+		if j.commit(globals[k], row) {
+			w.noteRows(1)
+		}
+		k++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("harvest %s from %s: %w", wid, w.url, err)
+	}
+	if k != len(globals) {
+		return fmt.Errorf("harvest %s from %s: %d rows for %d scenarios", wid, w.url, k, len(globals))
+	}
+	return nil
+}
+
+// cancelShard best-effort cancels the shard's current worker-side job,
+// so a cancelled federated campaign stops burning worker CPU. Runs on
+// a background context: the federated job's own context is already
+// cancelled by the time this is called.
+func (c *Coordinator) cancelShard(sh *shard) {
+	wurl, wid := sh.placement()
+	if wurl == "" || wid == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, wurl+"/api/v1/jobs/"+wid+"/cancel", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.logf("sched: cancel shard job %s on %s: %v", wid, wurl, err)
+		return
+	}
+	resp.Body.Close()
+}

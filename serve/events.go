@@ -1,16 +1,15 @@
 package serve
 
 import (
-	"encoding/json"
-	"fmt"
-	"io"
-	"sync"
-
 	"darco/export"
+	"darco/internal/stream"
 	"darco/telemetry"
 )
 
-// Event kinds on a job's live stream.
+// Event kinds on a job's live stream. The fan-out machinery itself —
+// broadcaster, replay ring, loss markers, SSE/NDJSON framing — lives
+// in darco/internal/stream and is shared with the sched coordinator,
+// which re-multiplexes these same frame shapes for federated jobs.
 const (
 	// EventState carries a JobStatus snapshot; emitted on every state
 	// transition, as the first frame of every stream, and as the final
@@ -27,7 +26,7 @@ const (
 	// replay window that no longer reaches back to the job's start.
 	// Consumers see exactly where the gap is and how big it was,
 	// instead of a silent skip.
-	EventDropped = "dropped"
+	EventDropped = stream.KindDropped
 )
 
 // ScenarioEvent is the payload of one scenario-completion frame: the
@@ -50,194 +49,4 @@ type TelemetryEvent struct {
 
 // DroppedEvent is the payload of a dropped marker: how many frames are
 // missing at this point of the stream.
-type DroppedEvent struct {
-	Count uint64 `json:"dropped"`
-}
-
-// subscriberBuffer is each stream subscriber's channel depth. A
-// subscriber that cannot drain this many frames loses the newest ones,
-// but the loss is explicit: the next frame it receives is an
-// EventDropped marker carrying the gap size, and the terminal state is
-// re-sent at stream end, so outcomes are never lost — only
-// intermediate telemetry resolution.
-const subscriberBuffer = 256
-
-// defaultReplayBuffer bounds the per-job replay history when
-// Options.ReplayBuffer does not choose one.
-const defaultReplayBuffer = 1024
-
-// subscriber is one stream consumer: its frame channel plus the count
-// of frames dropped since it last kept up, owed to it as a marker.
-type subscriber struct {
-	ch      chan event
-	dropped uint64
-}
-
-// event is one frame queued for a job's subscribers.
-type event struct {
-	kind string
-	data any // immutable snapshot, shared across subscribers
-}
-
-// broadcaster fans a job's event frames out to any number of stream
-// subscribers and keeps a bounded replay ring of everything published,
-// so late subscribers receive the event prefix they missed instead of
-// joining lossily mid-stream. Publishing never blocks on a slow
-// subscriber. For jobs restored from the durable store, the ring is
-// seeded from the journaled history before the broadcaster closes.
-type broadcaster struct {
-	mu     sync.Mutex
-	subs   map[*subscriber]struct{}
-	closed bool
-
-	// replay ring: history holds up to limit frames, oldest at start
-	// (wrapping once full); evicted counts frames pushed out of the
-	// window.
-	limit   int
-	history []event
-	start   int
-	evicted uint64
-}
-
-func newBroadcaster(replayLimit int) *broadcaster {
-	if replayLimit < 1 {
-		replayLimit = defaultReplayBuffer
-	}
-	return &broadcaster{subs: make(map[*subscriber]struct{}), limit: replayLimit}
-}
-
-// record pushes ev into the replay ring. Caller holds b.mu.
-func (b *broadcaster) record(ev event) {
-	if len(b.history) < b.limit {
-		b.history = append(b.history, ev)
-		return
-	}
-	b.history[b.start] = ev
-	b.start = (b.start + 1) % b.limit
-	b.evicted++
-}
-
-// replay snapshots the ring in publish order, preceded by a dropped
-// marker when the window no longer reaches the stream's start. Caller
-// holds b.mu.
-func (b *broadcaster) replay() []event {
-	out := make([]event, 0, len(b.history)+1)
-	if b.evicted > 0 {
-		out = append(out, event{kind: EventDropped, data: DroppedEvent{Count: b.evicted}})
-	}
-	out = append(out, b.history[b.start:]...)
-	return append(out, b.history[:b.start]...)
-}
-
-// seed pre-populates the replay ring with a restored job's journaled
-// event history; evicted is the count of events the caller already
-// knows were trimmed before these.
-func (b *broadcaster) seed(evs []event, evicted uint64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.evicted += evicted
-	for _, ev := range evs {
-		b.record(ev)
-	}
-}
-
-// subscribe registers a new subscriber and returns the replay prefix
-// it missed plus its live channel. On an already-closed broadcaster
-// (terminal job) the channel comes back closed, so the consumer writes
-// the replay and its drain loop ends immediately. The snapshot and the
-// registration are atomic: no frame is ever in both, and none falls
-// between them.
-func (b *broadcaster) subscribe() ([]event, *subscriber) {
-	sub := &subscriber{ch: make(chan event, subscriberBuffer)}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	replay := b.replay()
-	if b.closed {
-		close(sub.ch)
-		return replay, sub
-	}
-	b.subs[sub] = struct{}{}
-	return replay, sub
-}
-
-// unsubscribe removes sub; safe after close.
-func (b *broadcaster) unsubscribe(sub *subscriber) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	delete(b.subs, sub)
-}
-
-// subscriberCount reports the open stream count (for /metrics).
-func (b *broadcaster) subscriberCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.subs)
-}
-
-// publish queues one frame to every subscriber and the replay ring. A
-// subscriber whose buffer is full misses the frame, but the miss is
-// owed to it: the next time its buffer has room it first receives an
-// EventDropped marker carrying how many frames it lost.
-func (b *broadcaster) publish(kind string, data any) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return
-	}
-	ev := event{kind: kind, data: data}
-	// State frames stay out of the replay ring: every stream already
-	// opens with a fresh status snapshot and closes with the final
-	// one, so replaying stale snapshots would only make a late
-	// subscriber's view of progress regress.
-	if kind != EventState {
-		b.record(ev)
-	}
-	for sub := range b.subs {
-		if sub.dropped > 0 {
-			select {
-			case sub.ch <- event{kind: EventDropped, data: DroppedEvent{Count: sub.dropped}}:
-				sub.dropped = 0
-			default:
-				sub.dropped++
-				continue
-			}
-		}
-		select {
-		case sub.ch <- ev:
-		default: // slow subscriber: drop rather than stall the job
-			sub.dropped++
-		}
-	}
-}
-
-// close ends every subscriber's stream. The replay ring survives, so
-// late subscribers still get the job's history. Publishing after close
-// is a no-op.
-func (b *broadcaster) close() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return
-	}
-	b.closed = true
-	for sub := range b.subs {
-		close(sub.ch)
-	}
-	b.subs = nil
-}
-
-// writeFrame writes one event frame in SSE framing ("event:"/"data:"
-// lines and a blank-line terminator) or, when ndjson is set, as one
-// {"event":...,"data":...} line.
-func writeFrame(w io.Writer, ndjson bool, kind string, data any) error {
-	blob, err := json.Marshal(data)
-	if err != nil {
-		return err
-	}
-	if ndjson {
-		_, err = fmt.Fprintf(w, "{\"event\":%q,\"data\":%s}\n", kind, blob)
-		return err
-	}
-	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", kind, blob)
-	return err
-}
+type DroppedEvent = stream.DroppedEvent

@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
+	darco "darco"
 	"darco/export"
+	"darco/internal/stream"
 	"darco/internal/workload"
 	"darco/store"
 )
@@ -92,13 +95,63 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
+// handleList serves the job listing in submission order. ?state=
+// filters it to the named lifecycle states (comma-separated, e.g.
+// ?state=interrupted or ?state=queued,running) — the first slice of
+// the job-query API, and what the sched coordinator uses to find a
+// restarted worker's interrupted shards. Unknown states are a 400 so
+// a typo cannot read as "no matches".
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter, err := ParseStateFilter(r.URL.Query().Get("state"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	jobs := s.jobs.list()
-	out := make([]JobStatus, len(jobs))
-	for i, j := range jobs {
-		out[i] = j.status()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		if st := j.status(); filter.Match(st.State) {
+			out = append(out, st)
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// StateFilter is a parsed ?state= job-list filter; the zero value
+// matches every state.
+type StateFilter struct {
+	states map[JobState]bool
+}
+
+// knownStates are the values ?state= accepts. The coordinator-only
+// "degraded" state is included so one filter grammar serves both
+// daemons' listings.
+var knownStates = map[JobState]bool{
+	JobQueued: true, JobRunning: true, JobDone: true,
+	JobFailed: true, JobCancelled: true, JobInterrupted: true,
+	JobState("degraded"): true,
+}
+
+// ParseStateFilter parses a comma-separated ?state= value. Empty
+// matches everything; unknown names are an error.
+func ParseStateFilter(q string) (StateFilter, error) {
+	if q == "" {
+		return StateFilter{}, nil
+	}
+	f := StateFilter{states: make(map[JobState]bool)}
+	for _, name := range strings.Split(q, ",") {
+		st := JobState(strings.TrimSpace(name))
+		if !knownStates[st] {
+			return StateFilter{}, fmt.Errorf("unknown state %q in ?state=", st)
+		}
+		f.states[st] = true
+	}
+	return f, nil
+}
+
+// Match reports whether the filter admits st.
+func (f StateFilter) Match(st JobState) bool {
+	return f.states == nil || f.states[st]
 }
 
 // lookup resolves the {id} path value, writing the 404 itself when the
@@ -158,36 +211,47 @@ func (s *Server) handleExport(format string) http.HandlerFunc {
 			writeError(w, http.StatusConflict, "%v", err)
 			return
 		}
-		var opts []export.Option
-		if r.URL.Query().Get("wall") == "1" {
-			opts = append(opts, export.WithWallTimes())
-		} else {
-			rows = export.StripWall(rows)
-		}
-		switch format {
-		case "json":
-			doc := export.NewRowReport(rows)
-			if len(opts) > 0 {
-				doc.WallMS = wallMS
-				doc.Workers = parallelism
-			}
-			w.Header().Set("Content-Type", "application/json")
-			err = export.WriteReport(w, doc)
-		case "csv":
-			w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-			err = export.WriteCSVRows(w, rows, opts...)
-		case "ndjson":
-			w.Header().Set("Content-Type", "application/x-ndjson")
-			err = export.WriteNDJSONRows(w, rows)
-		case "html":
-			w.Header().Set("Content-Type", "text/html; charset=utf-8")
-			err = export.WriteHTMLRows(w, rows, opts...)
-		}
-		if err != nil {
+		if err := WriteExport(w, r, format, rows, wallMS, parallelism); err != nil {
 			// Headers are gone; all we can do is drop the connection.
 			s.logf("export %s for %s: %v", format, j.id, err)
 		}
 	}
+}
+
+// WriteExport renders a job's stored wall-inclusive rows in one of the
+// four export formats ("json", "csv", "ndjson", "html") with the
+// service's semantics: deterministic darco/export defaults unless the
+// request carries ?wall=1, which opts into the wall-clock columns plus
+// the campaign-level wall/parallelism fields in the JSON document.
+// Shared with the sched coordinator so a federated job's exports go
+// through exactly the renderer a single daemon uses.
+func WriteExport(w http.ResponseWriter, r *http.Request, format string, rows []export.Row, wallMS float64, parallelism int) error {
+	var opts []export.Option
+	if r.URL.Query().Get("wall") == "1" {
+		opts = append(opts, export.WithWallTimes())
+	} else {
+		rows = export.StripWall(rows)
+	}
+	switch format {
+	case "json":
+		doc := export.NewRowReport(rows)
+		if len(opts) > 0 {
+			doc.WallMS = wallMS
+			doc.Workers = parallelism
+		}
+		w.Header().Set("Content-Type", "application/json")
+		return export.WriteReport(w, doc)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		return export.WriteCSVRows(w, rows, opts...)
+	case "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		return export.WriteNDJSONRows(w, rows)
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		return export.WriteHTMLRows(w, rows, opts...)
+	}
+	return fmt.Errorf("unknown export format %q", format)
 }
 
 // handleEvents streams a job's frames as SSE (default) or NDJSON
@@ -202,53 +266,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	flusher, canFlush := w.(http.Flusher)
-	ndjson := r.URL.Query().Get("format") == "ndjson"
-	if ndjson {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-	} else {
-		w.Header().Set("Content-Type", "text/event-stream")
-		w.Header().Set("Cache-Control", "no-store")
-	}
-	flush := func() {
-		if canFlush {
-			flusher.Flush()
-		}
-	}
-
-	// The replay snapshot and the live registration are atomic in the
-	// broadcaster, so no frame is lost or duplicated between them;
-	// state frames are idempotent snapshots, so the duplicate a
-	// subscribe/transition race can produce is safe.
-	replay, sub := j.events.subscribe()
-	defer j.events.unsubscribe(sub)
-	if err := writeFrame(w, ndjson, EventState, j.status()); err != nil {
-		return
-	}
-	for _, ev := range replay {
-		if err := writeFrame(w, ndjson, ev.kind, ev.data); err != nil {
-			return
-		}
-	}
-	flush()
-	for {
-		select {
-		case ev, open := <-sub.ch:
-			if !open {
-				// Terminal: re-send the final status so even a consumer
-				// whose buffer dropped the transition sees the outcome.
-				writeFrame(w, ndjson, EventState, j.status())
-				flush()
-				return
-			}
-			if err := writeFrame(w, ndjson, ev.kind, ev.data); err != nil {
-				return
-			}
-			flush()
-		case <-r.Context().Done():
-			return
-		}
-	}
+	stream.ServeStream(w, r, j.events, EventState, func() any { return j.status() })
 }
 
 // ProfileInfo describes one submittable workload.
@@ -265,9 +283,13 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// Health is the /healthz payload.
+// Health is the /healthz payload. Version and WorkerID identify the
+// build and the pool member — the sched coordinator's health probes
+// read them to label workers, and Status is what its placement checks.
 type Health struct {
 	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	WorkerID      string  `json:"worker_id"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Workers       int     `json:"workers"`
 	QueueDepth    int     `json:"queue_depth"`
@@ -278,6 +300,8 @@ type Health struct {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Health{
 		Status:        "ok",
+		Version:       darco.Version,
+		WorkerID:      s.opts.WorkerID,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.opts.Workers,
 		QueueDepth:    len(s.queue),
@@ -301,7 +325,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		scenarios += st.Scenarios
 		completed += st.Completed
 		failed += st.Failed
-		subscribers += j.events.subscriberCount()
+		subscribers += j.events.SubscriberCount()
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "# HELP darco_jobs Campaign jobs by lifecycle state.\n# TYPE darco_jobs gauge\n")

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"darco/export"
+	"darco/internal/stream"
 )
 
 // JobState is a campaign job's lifecycle state. Jobs move
@@ -78,7 +79,7 @@ type job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
-	events *broadcaster
+	events *stream.Broadcaster
 
 	mu        sync.Mutex
 	state     JobState

@@ -1,0 +1,81 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	darco "darco"
+	"darco/serve"
+)
+
+// TestListStateFilter pins the ?state= grammar on the job listing:
+// single states, comma-separated unions, and a 400 on unknown values.
+func TestListStateFilter(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1, QueueCapacity: 4})
+
+	fast := submit(t, ts.URL, `{"scenarios":[{"profile":"429.mcf","scale":0.1}]}`, http.StatusAccepted)
+	waitState(t, ts.URL, fast.ID, func(s serve.JobStatus) bool { return s.State == serve.JobDone })
+	failing := submit(t, ts.URL, `{"scenarios":[{"profile":"429.mcf","scale":0.1}],"engine":{"max_guest_insns":5000}}`, http.StatusAccepted)
+	waitState(t, ts.URL, failing.ID, func(s serve.JobStatus) bool { return s.State == serve.JobFailed })
+
+	list := func(q string) []serve.JobStatus {
+		var jobs []serve.JobStatus
+		if err := json.Unmarshal(fetch(t, ts.URL+"/api/v1/jobs"+q, http.StatusOK, "application/json"), &jobs); err != nil {
+			t.Fatalf("list %q: %v", q, err)
+		}
+		return jobs
+	}
+
+	if jobs := list(""); len(jobs) != 2 {
+		t.Errorf("unfiltered listing: %d jobs, want 2", len(jobs))
+	}
+	if jobs := list("?state=done"); len(jobs) != 1 || jobs[0].ID != fast.ID {
+		t.Errorf("?state=done: %+v", jobs)
+	}
+	if jobs := list("?state=failed"); len(jobs) != 1 || jobs[0].ID != failing.ID {
+		t.Errorf("?state=failed: %+v", jobs)
+	}
+	if jobs := list("?state=done,failed"); len(jobs) != 2 {
+		t.Errorf("?state=done,failed: %+v", jobs)
+	}
+	if jobs := list("?state=running"); len(jobs) != 0 {
+		t.Errorf("?state=running: %+v", jobs)
+	}
+	// degraded is coordinator-only but part of the shared grammar, so
+	// a worker accepts it (and matches nothing).
+	if jobs := list("?state=degraded"); len(jobs) != 0 {
+		t.Errorf("?state=degraded: %+v", jobs)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs?state=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("?state=bogus: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHealthIdentity pins the daemon identity fields every fleet
+// coordinator keys on: version and a non-empty worker id.
+func TestHealthIdentity(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1, WorkerID: "w-test-7"})
+	var h serve.Health
+	if err := json.Unmarshal(fetch(t, ts.URL+"/healthz", http.StatusOK, "application/json"), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Version != darco.Version || h.WorkerID != "w-test-7" {
+		t.Errorf("healthz identity: %+v", h)
+	}
+
+	// Default identity is synthesized from host+pid — never empty.
+	_, ts2 := newTestServer(t, serve.Options{Workers: 1})
+	if err := json.Unmarshal(fetch(t, ts2.URL+"/healthz", http.StatusOK, "application/json"), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.WorkerID == "" {
+		t.Error("default worker_id is empty")
+	}
+}

@@ -116,11 +116,12 @@ type jobSpec struct {
 	telemetryInterval uint64
 }
 
-// parseSubmit decodes a submission body without validating it against
+// ParseSubmit decodes a submission body without validating it against
 // any server's limits — the syntactic half of decodeSubmit, shared
 // with the recovery path (which re-derives scenario rosters from
-// journaled submissions).
-func parseSubmit(r io.Reader) (*SubmitRequest, error) {
+// journaled submissions) and with the sched coordinator (which
+// validates a federated submission before sharding it).
+func ParseSubmit(r io.Reader) (*SubmitRequest, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var req SubmitRequest
@@ -136,9 +137,12 @@ func parseSubmit(r io.Reader) (*SubmitRequest, error) {
 	return &req, nil
 }
 
-// roster expands the request's suite and explicit scenario list into
-// the campaign roster, validating profiles and scales.
-func (req *SubmitRequest) roster() ([]darco.Scenario, error) {
+// Roster expands the request's suite and explicit scenario list into
+// the campaign roster, in campaign (scenario) order, validating
+// profiles and scales. The sched coordinator shards this same
+// expansion, so a scenario's position here is its global index in a
+// federated run — the order every export format is keyed on.
+func (req *SubmitRequest) Roster() ([]darco.Scenario, error) {
 	var out []darco.Scenario
 	if req.Suite != nil {
 		if req.Suite.Scale < 0 {
@@ -165,7 +169,7 @@ func (req *SubmitRequest) roster() ([]darco.Scenario, error) {
 // decodeSubmit parses and validates a submission body against the
 // server's limits.
 func (s *Server) decodeSubmit(r io.Reader) (*jobSpec, error) {
-	req, err := parseSubmit(r)
+	req, err := ParseSubmit(r)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +181,7 @@ func (s *Server) decodeSubmit(r io.Reader) (*jobSpec, error) {
 func (s *Server) buildSpec(req *SubmitRequest) (*jobSpec, error) {
 	spec := &jobSpec{name: req.Name}
 	var err error
-	if spec.scenarios, err = req.roster(); err != nil {
+	if spec.scenarios, err = req.Roster(); err != nil {
 		return nil, err
 	}
 	if limit := s.opts.MaxScenarios; limit > 0 && len(spec.scenarios) > limit {
@@ -205,7 +209,7 @@ func (s *Server) buildSpec(req *SubmitRequest) (*jobSpec, error) {
 		spec.telemetryInterval = telemetry.DefaultInterval
 	}
 
-	opts, err := req.Engine.engineOptions()
+	opts, err := req.Engine.Options()
 	if err != nil {
 		return nil, err
 	}
@@ -217,9 +221,10 @@ func (s *Server) buildSpec(req *SubmitRequest) (*jobSpec, error) {
 	return spec, nil
 }
 
-// engineOptions compiles the spec (nil = all defaults) to engine
-// options.
-func (e *EngineSpec) engineOptions() ([]darco.Option, error) {
+// Options compiles the spec (nil = all defaults) to engine options.
+// Exported so the sched coordinator can validate a submission's engine
+// configuration at its own edge before fanning shards out to workers.
+func (e *EngineSpec) Options() ([]darco.Option, error) {
 	if e == nil {
 		return nil, nil
 	}

@@ -77,12 +77,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	darco "darco"
 	"darco/export"
+	"darco/internal/stream"
 	"darco/store"
 	"darco/telemetry"
 )
@@ -122,6 +124,11 @@ type Options struct {
 	// historical frames before live ones.
 	ReplayBuffer int
 
+	// WorkerID identifies this daemon instance in its /healthz payload
+	// so a fleet coordinator (darco-sched) and operators can tell pool
+	// members apart. Empty derives "<hostname>-<pid>".
+	WorkerID string
+
 	// Logf, when non-nil, receives server-side log lines (job
 	// transitions, stream failures). The daemon wires it to log.Printf;
 	// nil runs silent, which is what tests want.
@@ -137,6 +144,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxParallelism < 1 {
 		o.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.WorkerID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "darco"
+		}
+		o.WorkerID = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 	return o
 }
@@ -299,7 +313,7 @@ func (s *Server) restoreJobs() []*job {
 				raw:       h.Request,
 				state:     JobQueued,
 				submitted: h.SubmittedAt,
-				events:    newBroadcaster(s.opts.ReplayBuffer),
+				events:    stream.NewBroadcaster(s.opts.ReplayBuffer),
 			}
 			j.ctx, j.cancel = context.WithCancel(s.baseCtx)
 			s.jobs.restore(j)
@@ -351,7 +365,7 @@ func (s *Server) restoreTerminal(h *store.JobHistory, state JobState, jerr, rowR
 		rows:        rows,
 		wallMS:      h.WallMS,
 		parallelism: h.Parallelism,
-		events:      newBroadcaster(s.opts.ReplayBuffer),
+		events:      stream.NewBroadcaster(s.opts.ReplayBuffer),
 	}
 	if j.finished.IsZero() {
 		j.finished = time.Now()
@@ -368,8 +382,8 @@ func (s *Server) restoreTerminal(h *store.JobHistory, state JobState, jerr, rowR
 // stream is the same however many restarts the history has been
 // through.
 func sealRestored(j *job, h *store.JobHistory) {
-	j.events.seed(replayEvents(h), 0)
-	j.events.close()
+	j.events.Seed(replayEvents(h), 0)
+	j.events.Close()
 }
 
 // journalSynthesizedRows journals the rows restoreTerminal synthesized
@@ -416,11 +430,11 @@ func (s *Server) restoredRows(h *store.JobHistory, reason error) (rows []export.
 // that no longer parses yields nil and the rows fall back to indexed
 // placeholders.
 func rosterForHistory(h *store.JobHistory) []darco.Scenario {
-	req, err := parseSubmit(bytes.NewReader(h.Request))
+	req, err := ParseSubmit(bytes.NewReader(h.Request))
 	if err != nil {
 		return nil
 	}
-	roster, err := req.roster()
+	roster, err := req.Roster()
 	if err != nil {
 		return nil
 	}
@@ -430,8 +444,8 @@ func rosterForHistory(h *store.JobHistory) []darco.Scenario {
 // replayEvents rebuilds a restored job's event-stream history from its
 // journal records, in append order, shaped exactly like the frames the
 // live run published.
-func replayEvents(h *store.JobHistory) []event {
-	var evs []event
+func replayEvents(h *store.JobHistory) []stream.Event {
+	var evs []stream.Event
 	for i := range h.Records {
 		rec := &h.Records[i]
 		switch rec.Kind {
@@ -439,7 +453,7 @@ func replayEvents(h *store.JobHistory) []event {
 			if rec.Row == nil {
 				continue
 			}
-			evs = append(evs, event{kind: EventScenario, data: ScenarioEvent{
+			evs = append(evs, stream.Event{Kind: EventScenario, Data: ScenarioEvent{
 				Job:   h.ID,
 				Index: rec.Row.Index,
 				Row:   export.StripWallRow(rec.Row.Row),
@@ -448,7 +462,7 @@ func replayEvents(h *store.JobHistory) []event {
 			if rec.Telemetry == nil {
 				continue
 			}
-			evs = append(evs, event{kind: EventTelemetry, data: TelemetryEvent{
+			evs = append(evs, stream.Event{Kind: EventTelemetry, Data: TelemetryEvent{
 				Job:      h.ID,
 				Index:    rec.Telemetry.Index,
 				Scenario: rec.Telemetry.Scenario,
@@ -474,7 +488,7 @@ func (s *Server) submit(spec *jobSpec, raw []byte) (*job, error) {
 		raw:       raw,
 		state:     JobQueued,
 		submitted: time.Now(),
-		events:    newBroadcaster(s.opts.ReplayBuffer),
+		events:    stream.NewBroadcaster(s.opts.ReplayBuffer),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -534,15 +548,15 @@ func (s *Server) runJob(j *job) {
 			for i := range rows {
 				s.journal(store.Record{Kind: store.KindRow, Job: j.id,
 					Row: &store.RowRecord{Index: i, Row: rows[i]}})
-				j.events.publish(EventScenario, ScenarioEvent{
+				j.events.Publish(EventScenario, ScenarioEvent{
 					Job:   j.id,
 					Index: i,
 					Row:   export.StripWallRow(rows[i]),
 				})
 			}
-			j.events.publish(EventState, s.finishJob(j))
+			j.events.PublishTransient(EventState, s.finishJob(j))
 		}
-		j.events.close()
+		j.events.Close()
 		return
 	}
 	j.mu.Lock()
@@ -552,7 +566,7 @@ func (s *Server) runJob(j *job) {
 	j.mu.Unlock()
 	s.logf("serve: %s running: %d scenarios, parallelism %d", j.id, len(j.spec.scenarios), j.spec.parallelism)
 	s.journal(store.Record{Kind: store.KindStarted, Job: j.id, Time: started})
-	j.events.publish(EventState, j.status())
+	j.events.PublishTransient(EventState, j.status())
 
 	copts := []darco.CampaignOption{
 		darco.WithParallelism(j.spec.parallelism),
@@ -594,8 +608,8 @@ func (s *Server) runJob(j *job) {
 	j.mu.Unlock()
 	st := s.finishJob(j)
 	s.logf("serve: %s %s: %d/%d scenarios, %d failed", j.id, st.State, st.Completed, st.Scenarios, st.Failed)
-	j.events.publish(EventState, st)
-	j.events.close()
+	j.events.PublishTransient(EventState, st)
+	j.events.Close()
 }
 
 // finishJob journals a job's terminal record, compacts its history
@@ -632,7 +646,7 @@ func (s *Server) scenarioDone(j *job) func(i int, sr *darco.ScenarioResult) {
 		row := export.NewRow(sr, export.WithWallTimes())
 		s.journal(store.Record{Kind: store.KindRow, Job: j.id,
 			Row: &store.RowRecord{Index: i, Row: row}})
-		j.events.publish(EventScenario, ScenarioEvent{
+		j.events.Publish(EventScenario, ScenarioEvent{
 			Job:   j.id,
 			Index: i,
 			Row:   export.StripWallRow(row),
@@ -667,7 +681,7 @@ func (ws *windowers) attach(i int, sc *darco.Scenario, sess *darco.Session) {
 	wd := telemetry.NewWindower(ws.j.spec.telemetryInterval, func(w telemetry.Window) {
 		ws.s.journal(store.Record{Kind: store.KindTelemetry, Job: ws.j.id,
 			Telemetry: &store.TelemetryRecord{Index: i, Scenario: name, Window: w}})
-		ws.j.events.publish(EventTelemetry, TelemetryEvent{
+		ws.j.events.Publish(EventTelemetry, TelemetryEvent{
 			Job:      ws.j.id,
 			Index:    i,
 			Scenario: name,

@@ -1,0 +1,7 @@
+package darco
+
+// Version identifies this build of the DARCO toolkit. Every command
+// reports it under -version, and the campaign daemons expose it in
+// their /healthz payloads so a fleet coordinator (and its operator)
+// can tell which build each pool member runs.
+const Version = "0.6.0"
