@@ -26,10 +26,28 @@
 // ends in the terminal "degraded" state with the never-run scenarios
 // marked as errors in its exports.
 //
+// With -data, the coordinator's own death is survived too: every
+// federated job's lifecycle — submission, shard plan, placement
+// leases, gathered rows — is journaled to the durable store, and a
+// restarted coordinator re-adopts the still-running worker-side shard
+// jobs by name instead of re-dispatching them, so federated exports
+// stay byte-identical across the crash. -fsync picks the journal
+// durability policy.
+//
+//	darco-sched -addr :9090 -data /var/lib/darco-sched -worker http://node1:8080
+//
+// A warm standby points -standby at the same data directory: it waits
+// on the store's flock lease (which the kernel releases the instant
+// the primary dies, SIGKILL included), then recovers and serves
+// exactly like a restart. One flag, one lease, no consensus protocol.
+//
+//	darco-sched -addr :9091 -data /var/lib/darco-sched -standby -worker http://node1:8080
+//
 // SIGINT/SIGTERM shut the coordinator down gracefully: submissions are
 // rejected, running federated jobs (and their worker-side shard jobs)
-// are cancelled, and the process exits once the runners drain (bounded
-// by -grace).
+// are cancelled and journaled terminal, queued jobs are left journaled
+// for the next start to re-queue, and — once the runners drain
+// (bounded by -grace) — a clean-shutdown marker is journaled.
 package main
 
 import (
@@ -46,6 +64,7 @@ import (
 
 	darco "darco"
 	"darco/sched"
+	"darco/store"
 )
 
 // workerList collects repeatable -worker flags.
@@ -68,6 +87,9 @@ func main() {
 		retries = flag.Int("retries", 4, "fruitless placement attempts per shard before the job degrades")
 		probe   = flag.Duration("probe", 5*time.Second, "worker health-probe interval")
 		grace   = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget")
+		data    = flag.String("data", "", "durable store directory (empty = in-memory only)")
+		fsync   = flag.String("fsync", "lifecycle", "journal fsync policy with -data: lifecycle, always or none")
+		standby = flag.Bool("standby", false, "with -data: wait for the directory's flock lease instead of failing when another coordinator holds it, then take over")
 		version = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Var(&workers, "worker", "worker base URL (repeatable), e.g. http://node1:8080")
@@ -78,6 +100,35 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "darco-sched: ", log.LstdFlags)
+
+	var st *store.Store
+	if *data != "" {
+		policy, err := fsyncPolicy(*fsync)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		opts := store.Options{Sync: policy, Logf: logger.Printf}
+		if *standby {
+			// The standby blocks here until the primary's flock lease
+			// frees — the kernel drops it the instant the primary dies,
+			// SIGKILL included — then recovers and serves like any
+			// restart. SIGINT/SIGTERM abort the wait.
+			waitCtx, waitStop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			logger.Printf("standby: waiting for the lease on %s", *data)
+			st, err = store.OpenWait(waitCtx, *data, opts)
+			waitStop()
+		} else {
+			st, err = store.Open(*data, opts)
+		}
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer st.Close()
+		logger.Printf("store %s recovered: %s", *data, st.Recovery())
+	} else if *standby {
+		logger.Fatal("-standby requires -data")
+	}
+
 	coord, err := sched.New(sched.Options{
 		Workers:       workers,
 		Jobs:          *jobs,
@@ -86,6 +137,7 @@ func main() {
 		MaxShards:     *shards,
 		ShardRetries:  *retries,
 		ProbeInterval: *probe,
+		Store:         st,
 		Logf:          logger.Printf,
 	})
 	if err != nil {
@@ -123,4 +175,16 @@ func main() {
 		logger.Printf("serve: %v", err)
 	}
 	fmt.Fprintln(os.Stderr, "darco-sched: bye")
+}
+
+func fsyncPolicy(name string) (store.SyncPolicy, error) {
+	switch name {
+	case "lifecycle":
+		return store.SyncLifecycle, nil
+	case "always":
+		return store.SyncAlways, nil
+	case "none":
+		return store.SyncNone, nil
+	}
+	return 0, fmt.Errorf("unknown -fsync policy %q (lifecycle, always or none)", name)
 }

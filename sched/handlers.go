@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"darco/export"
 	"darco/internal/stream"
 	"darco/serve"
+	"darco/store"
 )
 
 // apiError is the JSON error envelope every non-2xx response carries —
@@ -49,6 +51,7 @@ func (c *Coordinator) routes() *http.ServeMux {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/export.html", c.handleExport("html"))
 	mux.HandleFunc("GET /api/v1/workers", c.handleWorkers)
 	mux.HandleFunc("POST /api/v1/workers", c.handleRegisterWorker)
+	mux.HandleFunc("DELETE /api/v1/workers/{id}", c.handleDeregisterWorker)
 	mux.HandleFunc("GET /healthz", c.handleHealth)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	return mux
@@ -62,7 +65,14 @@ const maxSubmitBytes = 1 << 20
 // validation a worker performs — then queues it for sharding. A bad
 // submission never reaches a worker.
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	req, err := serve.ParseSubmit(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	// The body is buffered whole before parsing: the raw bytes are the
+	// submission's durable representation — journaled with the job and
+	// replayed through this same validator after a restart.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	var req *serve.SubmitRequest
+	if err == nil {
+		req, err = serve.ParseSubmit(bytes.NewReader(raw))
+	}
 	if err != nil {
 		code := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
@@ -102,6 +112,8 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j := newJob(req, roster, c.baseCtx, c.opts.ReplayBuffer)
+	j.raw = raw
+	j.journal = c.journal
 	c.jobs.add(j)
 	if err := c.enqueue(j); err != nil {
 		j.cancel()
@@ -160,6 +172,18 @@ func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := c.lookup(w, r)
 	if !ok {
 		return
+	}
+	// The request is journaled before the context cancels: a
+	// coordinator that dies in between must not re-queue a job its
+	// client already cancelled. cancelRequested also distinguishes this
+	// client cancel from the coordinator's own shutdown for a job still
+	// in the queue.
+	j.mu.Lock()
+	first := !j.cancelRequested && !terminal(j.state)
+	j.cancelRequested = true
+	j.mu.Unlock()
+	if first {
+		c.journal(store.Record{Kind: store.KindCancelRequested, Job: j.id})
 	}
 	j.cancel()
 	writeJSON(w, http.StatusOK, j.status())
@@ -243,6 +267,20 @@ func (c *Coordinator) handleRegisterWorker(w http.ResponseWriter, r *http.Reques
 	writeJSON(w, http.StatusOK, wk.info())
 }
 
+// handleDeregisterWorker removes a pool member by worker_id, full URL,
+// or URL host:port. Shards already gathering from it run to completion
+// on their own references; the worker is simply never placed again.
+func (c *Coordinator) handleDeregisterWorker(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("id")
+	wk, ok := c.pool.remove(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such worker %q", key)
+		return
+	}
+	c.logf("sched: worker %s deregistered", wk.url)
+	writeJSON(w, http.StatusOK, wk.info())
+}
+
 // Health is the coordinator's /healthz payload: liveness plus a pool
 // summary. WorkerID follows the worker daemon's convention so fleet
 // tooling can treat every darco daemon uniformly.
@@ -305,6 +343,13 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP darco_sched_queue_depth Federated jobs waiting for a runner.\n# TYPE darco_sched_queue_depth gauge\ndarco_sched_queue_depth %d\n", len(c.queue))
 	fmt.Fprintf(w, "# HELP darco_sched_queue_capacity Federated job queue capacity.\n# TYPE darco_sched_queue_capacity gauge\ndarco_sched_queue_capacity %d\n", c.opts.QueueCapacity)
 	fmt.Fprintf(w, "# HELP darco_sched_uptime_seconds Coordinator uptime.\n# TYPE darco_sched_uptime_seconds gauge\ndarco_sched_uptime_seconds %g\n", time.Since(c.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP darco_sched_recovery_resumed_jobs Mid-run federated jobs resumed by the last restart.\n# TYPE darco_sched_recovery_resumed_jobs counter\ndarco_sched_recovery_resumed_jobs %d\n", c.recov.resumedJobs.Load())
+	fmt.Fprintf(w, "# HELP darco_sched_recovery_requeued_jobs Queued federated jobs re-queued by the last restart.\n# TYPE darco_sched_recovery_requeued_jobs counter\ndarco_sched_recovery_requeued_jobs %d\n", c.recov.requeuedJobs.Load())
+	fmt.Fprintf(w, "# HELP darco_sched_recovery_readopted_shards Worker-side shard jobs re-adopted instead of re-dispatched.\n# TYPE darco_sched_recovery_readopted_shards counter\ndarco_sched_recovery_readopted_shards %d\n", c.recov.readoptedShards.Load())
+	fmt.Fprintf(w, "# HELP darco_sched_recovery_backfilled_rows Scenario rows recovered through shard re-adoption.\n# TYPE darco_sched_recovery_backfilled_rows counter\ndarco_sched_recovery_backfilled_rows %d\n", c.recov.backfilledRows.Load())
+	fmt.Fprintf(w, "# HELP darco_sched_recovery_redispatched_shards Restored shards whose placement lease was dead and fell back to re-dispatch.\n# TYPE darco_sched_recovery_redispatched_shards counter\ndarco_sched_recovery_redispatched_shards %d\n", c.recov.redispatched.Load())
+	fmt.Fprintf(w, "# HELP darco_sched_recovery_salvage_discarded_bytes Journal bytes dropped by corruption salvage at the last open.\n# TYPE darco_sched_recovery_salvage_discarded_bytes counter\ndarco_sched_recovery_salvage_discarded_bytes %d\n", c.recov.salvageDiscarded.Load())
 
 	fmt.Fprintf(w, "# HELP darco_sched_worker_up Worker health from the last probe.\n# TYPE darco_sched_worker_up gauge\n")
 	workers := c.pool.list()

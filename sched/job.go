@@ -3,6 +3,8 @@ package sched
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"darco/export"
 	"darco/internal/stream"
 	"darco/serve"
+	"darco/store"
 )
 
 // JobDegraded is the coordinator-only terminal state: the worker pool
@@ -37,12 +40,26 @@ type job struct {
 	name   string
 	req    *serve.SubmitRequest
 	roster []darco.Scenario
+	// raw is the submission body as received — the job's durable
+	// representation, journaled with it and replayed through the same
+	// validator after a restart.
+	raw []byte
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	events *stream.Broadcaster
 
 	shards []*shard
+
+	// journal appends one record to the coordinator's durable store
+	// (nil when the coordinator runs without one). Set once before the
+	// job is visible to any goroutine.
+	journal func(store.Record)
+
+	// resumed marks a job restored mid-run from the journal: its
+	// started/plan records already exist and its shards carry adoption
+	// leases instead of starting from scratch.
+	resumed bool
 
 	mu        sync.Mutex
 	state     serve.JobState
@@ -52,6 +69,11 @@ type job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+
+	// cancelRequested distinguishes a client cancel from the
+	// coordinator's own shutdown cancelling the context: only the
+	// former is a durable fact about the job.
+	cancelRequested bool
 
 	// gathered marks global scenario indices whose row is committed;
 	// rows is the scenario-order result the sequencer flushes into.
@@ -104,8 +126,32 @@ func (j *job) commit(i int, row export.Row) bool {
 		j.failed++
 	}
 	j.mu.Unlock()
+	// Journaled at the global index before the event publishes: a
+	// coordinator that dies between the two restores the row, and the
+	// seeded replay ring re-publishes it.
+	if j.journal != nil {
+		j.journal(store.Record{Kind: store.KindRow, Job: j.id,
+			Row: &store.RowRecord{Index: i, Row: row}})
+	}
 	j.events.Publish(serve.EventScenario, serve.ScenarioEvent{Job: j.id, Index: i, Row: row})
 	return true
+}
+
+// restoreRow delivers a journaled row during recovery: the merge state
+// advances exactly as commit would, but nothing is re-journaled and no
+// live event publishes (the replay ring is seeded from the record
+// history instead). Pre-concurrency: called only before the job is
+// visible to runners.
+func (j *job) restoreRow(i int, row export.Row) {
+	if j.gathered[i] {
+		return
+	}
+	j.gathered[i] = true
+	j.seq.Put(i, row)
+	j.completed++
+	if row.Error != "" {
+		j.failed++
+	}
 }
 
 // missingOf filters indices down to those not yet gathered.
@@ -195,6 +241,19 @@ func (rg *registry) add(j *job) {
 	j.id = fmt.Sprintf("job-%d", rg.next)
 	rg.jobs[j.id] = j
 	rg.order = append(rg.order, j)
+}
+
+// restore registers a recovered job under its journaled id, keeping
+// the sequential counter ahead of every restored id so new submissions
+// never collide with history.
+func (rg *registry) restore(j *job) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	rg.jobs[j.id] = j
+	rg.order = append(rg.order, j)
+	if n, err := strconv.Atoi(strings.TrimPrefix(j.id, "job-")); err == nil && n > rg.next {
+		rg.next = n
+	}
 }
 
 func (rg *registry) get(id string) (*job, bool) {

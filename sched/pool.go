@@ -88,6 +88,15 @@ func (w *worker) release() {
 	w.mu.Unlock()
 }
 
+// reserve claims a placement slot outside pick (adoption re-attaches
+// to a specific worker rather than choosing one); released like any
+// pick.
+func (w *worker) reserve() {
+	w.mu.Lock()
+	w.active++
+	w.mu.Unlock()
+}
+
 func (w *worker) notePlaced() {
 	w.mu.Lock()
 	w.placed++
@@ -156,6 +165,37 @@ func (p *pool) add(rawURL string) (*worker, bool, error) {
 	p.workers = append(p.workers, w)
 	p.byURL[u] = w
 	return w, true, nil
+}
+
+// remove deregisters a worker by worker_id (from its /healthz), exact
+// URL, or URL host:port, returning the removed member. In-flight
+// gathers against it finish on their own references; it is simply
+// never picked again.
+func (p *pool) remove(key string) (*worker, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, w := range p.workers {
+		w.mu.Lock()
+		id := w.id
+		w.mu.Unlock()
+		u, _ := url.Parse(w.url)
+		if key != w.url && (key == "" || key != id) && (u == nil || key != u.Host) {
+			continue
+		}
+		p.workers = append(p.workers[:i], p.workers[i+1:]...)
+		delete(p.byURL, w.url)
+		return w, true
+	}
+	return nil, false
+}
+
+// ensure returns the pool member for rawURL, registering it first if
+// needed — re-adoption must be able to gather from a worker the
+// restarted coordinator was not configured with (e.g. one that had
+// self-registered at runtime).
+func (p *pool) ensure(rawURL string) (*worker, error) {
+	w, _, err := p.add(rawURL)
+	return w, err
 }
 
 // list snapshots the pool in registration order.

@@ -59,11 +59,13 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	darco "darco"
 	"darco/export"
 	"darco/serve"
+	"darco/store"
 )
 
 // Options configures a Coordinator. The zero value runs one federated
@@ -110,6 +112,15 @@ type Options struct {
 	// ReplayBuffer bounds each federated job's event replay ring
 	// (< 1 selects the stream package default).
 	ReplayBuffer int
+
+	// Store, when non-nil, is the coordinator's durable state: every
+	// federated job's lifecycle — submission, shard plan, placement
+	// leases, gathered rows at global indices, shard and job terminals
+	// — is journaled through it, and its recovered histories are
+	// restored (terminal jobs served, queued jobs re-queued, mid-run
+	// jobs resumed by re-adopting their worker-side shard jobs) at
+	// New. The caller owns the store and closes it after Shutdown.
+	Store *store.Store
 
 	// Client overrides the HTTP client used for worker control-plane
 	// requests (tests). Event streams always use a timeout-free copy.
@@ -165,9 +176,30 @@ type Coordinator struct {
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 
+	// halted simulates a crash (tests): once set, nothing more reaches
+	// the journal and worker-side shard jobs are left untouched, so the
+	// on-disk and worker-side state freeze exactly as SIGKILL would
+	// leave them.
+	halted atomic.Bool
+
+	// recov counts what recovery did; exposed on /metrics.
+	recov recoveryStats
+
 	mu      sync.Mutex
 	queue   chan *job
 	closing bool
+}
+
+// recoveryStats are the darco_sched_recovery_* counters: what the last
+// restore salvaged and how. Atomics because adoption updates them from
+// concurrent shard gatherers.
+type recoveryStats struct {
+	resumedJobs      atomic.Uint64 // mid-run jobs resumed by re-adoption
+	requeuedJobs     atomic.Uint64 // queued jobs re-queued
+	readoptedShards  atomic.Uint64 // shard jobs re-attached on their worker
+	backfilledRows   atomic.Uint64 // rows recovered through re-adoption
+	redispatched     atomic.Uint64 // shards whose lease was dead → re-dispatch path
+	salvageDiscarded atomic.Uint64 // journal bytes dropped by corruption salvage
 }
 
 // New builds a Coordinator over the static worker list, probes it
@@ -199,7 +231,20 @@ func New(opts Options) (*Coordinator, error) {
 		}
 	}
 	c.baseCtx, c.stop = context.WithCancel(context.Background())
-	c.queue = make(chan *job, c.opts.QueueCapacity)
+	// Restore before the runners start: recovered jobs enter the queue
+	// first, and the queue widens past the configured capacity if the
+	// journal holds more live jobs than it (none may be dropped).
+	// Submission capacity checks are against the configured capacity,
+	// so a widened queue does not raise the operator's shed point.
+	requeue := c.restoreJobs()
+	capacity := c.opts.QueueCapacity
+	if len(requeue) > capacity {
+		capacity = len(requeue)
+	}
+	c.queue = make(chan *job, capacity)
+	for _, j := range requeue {
+		c.queue <- j
+	}
 	c.mux = c.routes()
 	c.probeAll(c.baseCtx)
 	for i := 0; i < c.opts.Jobs; i++ {
@@ -221,10 +266,13 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.mux.ServeHTTP(w, r)
 }
 
-// Shutdown stops the coordinator: new submissions are rejected, every
-// queued and running federated job is cancelled (and its worker-side
-// shard jobs cancelled best-effort), and the call waits — up to ctx —
-// for the runners to drain. Idempotent.
+// Shutdown stops the coordinator gracefully: new submissions are
+// rejected, running federated jobs are cancelled (their worker-side
+// shard jobs cancelled best-effort) and journaled terminal, queued
+// jobs are left queued in the journal for the next start to re-queue,
+// and — once every runner has drained — a clean-shutdown marker is
+// journaled so the next open can tell this stop from a crash.
+// Idempotent; the marker only lands if the drain beat ctx.
 func (c *Coordinator) Shutdown(ctx context.Context) error {
 	c.mu.Lock()
 	already := c.closing
@@ -241,29 +289,106 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Every gatherer and runner is stopped and its terminal
+		// records are on disk; the marker is the last write, so its
+		// presence certifies the whole drain.
+		if !already {
+			c.journal(store.Record{Kind: store.KindCleanShutdown})
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("sched: shutdown: %w", ctx.Err())
 	}
 }
 
+// Halt simulates the coordinator dying (tests): journal writes,
+// compaction, and worker-side shard cancels are suppressed, then the
+// goroutines are drained. The data directory and the workers are left
+// exactly as SIGKILL at this instant would leave them — no terminal
+// records, no clean-shutdown marker, shard jobs still running.
+func (c *Coordinator) Halt() {
+	c.halted.Store(true)
+	c.mu.Lock()
+	already := c.closing
+	c.closing = true
+	if !already {
+		close(c.queue)
+	}
+	c.mu.Unlock()
+	c.stop()
+	c.wg.Wait()
+}
+
 func (c *Coordinator) logf(format string, args ...any) {
 	c.opts.Logf(format, args...)
 }
 
-// enqueue admits a validated job or reports why it cannot run now.
+// journal appends one record to the durable store, if there is one.
+// Journal failures never fail the job — the coordinator keeps serving
+// from memory and the operator sees the log line. A halted (crashing)
+// coordinator writes nothing.
+func (c *Coordinator) journal(rec store.Record) {
+	if c.opts.Store == nil || c.halted.Load() {
+		return
+	}
+	if rec.Time.IsZero() {
+		rec.Time = time.Now()
+	}
+	if err := c.opts.Store.Append(rec); err != nil {
+		c.logf("sched: journal %s for %s: %v", rec.Kind, rec.Job, err)
+	}
+}
+
+// compact freezes a terminal job's journal records into its snapshot.
+func (c *Coordinator) compact(id string) {
+	if c.opts.Store == nil || c.halted.Load() {
+		return
+	}
+	if err := c.opts.Store.CompactJob(id); err != nil {
+		c.logf("sched: compact %s: %v", id, err)
+	}
+}
+
+// finishJob journals a job's terminal record, compacts its history
+// into a snapshot, and returns the final status.
+func (c *Coordinator) finishJob(j *job) serve.JobStatus {
+	j.mu.Lock()
+	fin := &store.FinishedRecord{
+		State:       string(j.state),
+		WallMS:      j.wallMS,
+		Parallelism: len(j.shards),
+	}
+	if j.err != nil {
+		fin.Error = j.err.Error()
+	}
+	when := j.finished
+	j.mu.Unlock()
+	c.journal(store.Record{Kind: store.KindFinished, Job: j.id, Time: when, Finished: fin})
+	c.compact(j.id)
+	return j.status()
+}
+
+// enqueue admits a validated job or reports why it cannot run now. The
+// submitted record is journaled under the same lock that reserves the
+// queue slot: it must land before a runner can pop the job (records
+// stay in lifecycle order) and must not land at all for a rejected
+// submission (a 429'd job re-queued after a restart would be a ghost).
 func (c *Coordinator) enqueue(j *job) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closing {
 		return errClosing
 	}
-	select {
-	case c.queue <- j:
-		return nil
-	default:
+	// Capacity is checked against the configured capacity, not the
+	// channel's: a channel widened for a restored backlog must not
+	// raise the shed point for new submissions.
+	if len(c.queue) >= c.opts.QueueCapacity {
 		return errQueueFull
 	}
+	c.journal(store.Record{Kind: store.KindSubmitted, Job: j.id, Time: j.submitted,
+		Submitted: &store.SubmittedRecord{Name: j.name, Scenarios: len(j.roster), Request: j.raw}})
+	c.queue <- j
+	return nil
 }
 
 var (
@@ -273,16 +398,28 @@ var (
 
 // runJob drives one federated campaign: plan shards over the healthy
 // pool, gather each shard concurrently, then settle the terminal state
-// and seal the merged row set.
+// and seal the merged row set. A resumed job re-enters here with its
+// journaled plan and placement leases instead of planning afresh.
 func (c *Coordinator) runJob(j *job) {
 	// Release the job's context registration in baseCtx once terminal.
 	defer j.cancel()
 	if err := j.ctx.Err(); err != nil {
-		// Cancelled (or coordinator stopping) while queued: never
-		// started, every row synthesized — mirroring the worker
-		// daemon's cancelled-while-queued outcome.
+		j.mu.Lock()
+		clientCancel := j.cancelRequested
+		j.mu.Unlock()
+		if !clientCancel {
+			// The coordinator is stopping, not the client cancelling:
+			// leave the job queued on disk (no terminal record) so the
+			// next start re-queues it instead of failing it.
+			j.events.Close()
+			return
+		}
+		// Cancelled while queued: never started, every row synthesized
+		// — mirroring the worker daemon's cancelled-while-queued
+		// outcome.
 		if j.markCancelled(fmt.Errorf("cancelled while queued: %w", err)) {
 			c.sealJob(j, j.allIndices())
+			j.events.PublishTransient(serve.EventState, c.finishJob(j))
 		}
 		j.events.Close()
 		return
@@ -290,24 +427,40 @@ func (c *Coordinator) runJob(j *job) {
 
 	j.mu.Lock()
 	j.state = serve.JobRunning
-	j.started = time.Now()
+	if !j.resumed {
+		j.started = time.Now()
+	}
+	started := j.started
 	j.mu.Unlock()
 	j.events.PublishTransient(serve.EventState, j.status())
 
-	// Plan one shard per healthy worker (capped), so a fully-live pool
-	// takes one shard each; zero healthy workers still plan a single
-	// shard whose placement loop waits for the pool to come up.
-	healthy := c.pool.healthyCount()
-	if healthy == 0 {
-		healthy = c.probeAll(j.ctx)
+	if j.resumed {
+		c.logf("sched: %s resumed: %d scenarios in %d shards, %d rows already gathered",
+			j.id, len(j.roster), len(j.shards), j.status().Completed)
+	} else {
+		c.journal(store.Record{Kind: store.KindStarted, Job: j.id, Time: started})
+		// Plan one shard per healthy worker (capped), so a fully-live
+		// pool takes one shard each; zero healthy workers still plan a
+		// single shard whose placement loop waits for the pool to come
+		// up.
+		healthy := c.pool.healthyCount()
+		if healthy == 0 {
+			healthy = c.probeAll(j.ctx)
+		}
+		k := healthy
+		if c.opts.MaxShards > 0 && k > c.opts.MaxShards {
+			k = c.opts.MaxShards
+		}
+		j.shards = planShards(len(j.roster), k)
+		specs := make([]store.ShardSpec, len(j.shards))
+		for i, sh := range j.shards {
+			specs[i] = store.ShardSpec{Start: sh.indices[0], Count: len(sh.indices)}
+		}
+		c.journal(store.Record{Kind: store.KindShardPlan, Job: j.id,
+			ShardPlan: &store.ShardPlanRecord{Shards: specs}})
+		c.logf("sched: %s running: %d scenarios in %d shards over %d healthy workers",
+			j.id, len(j.roster), len(j.shards), healthy)
 	}
-	k := healthy
-	if c.opts.MaxShards > 0 && k > c.opts.MaxShards {
-		k = c.opts.MaxShards
-	}
-	j.shards = planShards(len(j.roster), k)
-	c.logf("sched: %s running: %d scenarios in %d shards over %d healthy workers",
-		j.id, len(j.roster), len(j.shards), healthy)
 
 	shardErrs := make([]error, len(j.shards))
 	var wg sync.WaitGroup
@@ -357,7 +510,7 @@ func (c *Coordinator) runJob(j *job) {
 	j.mu.Unlock()
 
 	c.sealJob(j, missing)
-	st := j.status()
+	st := c.finishJob(j)
 	c.logf("sched: %s %s: %d/%d scenarios, %d failed", j.id, st.State, st.Completed, st.Scenarios, st.Failed)
 	j.events.PublishTransient(serve.EventState, st)
 	j.events.Close()

@@ -14,6 +14,7 @@ import (
 
 	"darco/export"
 	"darco/serve"
+	"darco/store"
 )
 
 // shard is one contiguous slice of a federated job's roster. Identity
@@ -23,11 +24,25 @@ type shard struct {
 	idx     int
 	indices []int // global scenario indices, ascending and contiguous
 
+	// adopt is the journaled placement lease a restored shard tries to
+	// re-attach to before any fresh dispatch; consumed (nilled) after
+	// one attempt.
+	adopt *store.ShardPlacedRecord
+
 	mu        sync.Mutex
 	workerURL string // current/most recent placement
 	workerJob string // shard job id on that worker
 	attempts  int
 	lastErr   string
+}
+
+// takeAdoption consumes the shard's restored placement lease, if any.
+func (sh *shard) takeAdoption() *store.ShardPlacedRecord {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pl := sh.adopt
+	sh.adopt = nil
+	return pl
 }
 
 func (sh *shard) noteAttempt(workerURL string) int {
@@ -125,6 +140,18 @@ func (c *Coordinator) shardBody(j *job, sh *shard, missing []int, attempt int) (
 // gathered) reset the failure budget, so a shard only gives up after
 // ShardRetries consecutive attempts that gathered nothing new.
 func (c *Coordinator) runShard(j *job, sh *shard) error {
+	err := c.runShardAttempts(j, sh)
+	if err == nil {
+		// The gather loop completed: every one of the shard's scenarios
+		// has a committed row. Journaled so a restarted coordinator
+		// skips the shard outright instead of re-probing its worker.
+		c.journal(store.Record{Kind: store.KindShardTerminal, Job: j.id,
+			ShardTerminal: &store.ShardTerminalRecord{Shard: sh.idx, State: string(serve.JobDone)}})
+	}
+	return err
+}
+
+func (c *Coordinator) runShardAttempts(j *job, sh *shard) error {
 	failures := 0
 	var last *worker
 	var lastErr error
@@ -135,6 +162,25 @@ func (c *Coordinator) runShard(j *job, sh *shard) error {
 		}
 		if err := j.ctx.Err(); err != nil {
 			return err
+		}
+
+		// A restored shard first tries to re-adopt its journaled
+		// placement: re-attach to the still-running (or finished)
+		// worker-side job instead of re-dispatching its scenarios. A
+		// dead lease falls through to the normal placement loop.
+		if pl := sh.takeAdoption(); pl != nil {
+			err := c.adoptShard(j, sh, pl)
+			if err == nil {
+				continue // recompute missing; normally empty now
+			}
+			if ctxErr := j.ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
+			c.recov.redispatched.Add(1)
+			sh.setErr(err)
+			c.logf("sched: %s shard %d: re-adoption of %s on %s failed (%v); re-dispatching",
+				j.id, sh.idx, pl.WorkerJob, pl.Worker, err)
+			continue
 		}
 
 		// Prefer a worker other than the one that just failed us; fall
@@ -220,7 +266,63 @@ func (c *Coordinator) attemptShard(j *job, sh *shard, w *worker, missing []int, 
 	}
 	sh.setPlacement(w.url, wid)
 	w.notePlaced()
+	// The lease is journaled with exactly the globals this submission
+	// carried: the worker-side job's local scenario index i means
+	// missing[i], and that positional mapping — not the shard's full
+	// range — is what a re-adopting coordinator must decode the event
+	// stream and harvest with.
+	c.journal(store.Record{Kind: store.KindShardPlaced, Job: j.id,
+		ShardPlaced: &store.ShardPlacedRecord{
+			Shard:     sh.idx,
+			Worker:    w.url,
+			WorkerJob: wid,
+			Attempt:   attempt,
+			Scenarios: missing,
+		}})
 	return c.gatherShard(j, w, wid, missing)
+}
+
+// adoptShard re-attaches to a journaled placement lease: confirm the
+// worker still knows the shard job, then resume gathering from its
+// event stream (the replay ring re-delivers rows the coordinator
+// missed while down; commit dedupes ones it already journaled) or, for
+// an already-finished shard job, harvest its export.ndjson directly.
+// Rows recovered either way count as backfilled.
+func (c *Coordinator) adoptShard(j *job, sh *shard, pl *store.ShardPlacedRecord) error {
+	w, err := c.pool.ensure(pl.Worker)
+	if err != nil {
+		return err
+	}
+	w.reserve()
+	defer w.release()
+	st, err := c.shardStatus(j.ctx, w, pl.WorkerJob)
+	if err != nil {
+		w.markUnhealthy(err)
+		return fmt.Errorf("adopt shard job %s: %w", pl.WorkerJob, err)
+	}
+	sh.setPlacement(w.url, pl.WorkerJob)
+	before := len(j.missingOf(pl.Scenarios))
+	switch st.State {
+	case serve.JobDone, serve.JobFailed:
+		// Finished while the coordinator was down: the worker's
+		// export.ndjson is the complete, deterministic row set.
+		err = c.harvestShard(j, w, pl.WorkerJob, pl.Scenarios)
+	default:
+		// Queued, running, or ended cancelled/interrupted: the gather
+		// path handles all of them — errorless rows commit (from the
+		// replay ring and then live), a terminal cancelled/interrupted
+		// state comes back as an error and the remainder re-dispatches.
+		err = c.gatherShard(j, w, pl.WorkerJob, pl.Scenarios)
+	}
+	if n := before - len(j.missingOf(pl.Scenarios)); n > 0 {
+		c.recov.backfilledRows.Add(uint64(n))
+	}
+	if err != nil {
+		return err
+	}
+	c.recov.readoptedShards.Add(1)
+	c.logf("sched: %s shard %d re-adopted %s on %s (%s)", j.id, sh.idx, pl.WorkerJob, w.url, st.State)
+	return nil
 }
 
 // submitShard POSTs one shard submission. A 429 comes back as errBusy
@@ -367,6 +469,17 @@ func (c *Coordinator) consumeStream(j *job, w *worker, wid string, globals []int
 			if ev.Index < 0 || ev.Index >= len(globals) {
 				continue
 			}
+			// Journaled at the global index (fsync-exempt under the
+			// default lifecycle policy) so a restored job's replayed
+			// event stream carries its telemetry history too.
+			if j.journal != nil {
+				j.journal(store.Record{Kind: store.KindTelemetry, Job: j.id,
+					Telemetry: &store.TelemetryRecord{
+						Index:    globals[ev.Index],
+						Scenario: ev.Scenario,
+						Window:   ev.Window,
+					}})
+			}
 			j.events.Publish(serve.EventTelemetry, serve.TelemetryEvent{
 				Job:      j.id,
 				Index:    globals[ev.Index],
@@ -459,6 +572,11 @@ func (c *Coordinator) harvestShard(j *job, w *worker, wid string, globals []int)
 // a background context: the federated job's own context is already
 // cancelled by the time this is called.
 func (c *Coordinator) cancelShard(sh *shard) {
+	if c.halted.Load() {
+		// A "crashed" coordinator must leave worker-side jobs running —
+		// that is precisely what re-adoption recovers.
+		return
+	}
 	wurl, wid := sh.placement()
 	if wurl == "" || wid == "" {
 		return

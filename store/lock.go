@@ -1,12 +1,18 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"syscall"
 )
+
+// ErrLocked reports that a data directory's flock lease is held by a
+// live process. A standby coordinator waits on it (see OpenWait); any
+// other caller should treat it as "someone else owns this dir".
+var ErrLocked = errors.New("data dir is locked")
 
 // dirLock guards a data directory against double-opens: two daemons
 // appending to one journal would interleave frames and corrupt it.
@@ -32,7 +38,7 @@ func lockDir(dir string) (*dirLock, error) {
 			owner = strings.TrimSpace(string(raw))
 		}
 		f.Close()
-		return nil, fmt.Errorf("store: %s is locked by %s: %w", dir, owner, err)
+		return nil, fmt.Errorf("store: %s is locked by %s (%v): %w", dir, owner, err, ErrLocked)
 	}
 	// Held. Refresh the diagnostic pid; failures here are cosmetic.
 	if err := f.Truncate(0); err == nil {

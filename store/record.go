@@ -39,6 +39,31 @@ const (
 	// KindInterrupted is appended during recovery for a job found
 	// mid-run: the daemon died before the job could finish.
 	KindInterrupted Kind = "interrupted"
+
+	// The remaining kinds are the fleet coordinator's (darco-sched):
+	// a federated job journals its shard fan-out through them, so a
+	// restarted (or failed-over) coordinator can re-adopt the
+	// worker-side shard jobs instead of re-dispatching them.
+
+	// KindShardPlan records how the job's roster was cut into
+	// contiguous shards.
+	KindShardPlan Kind = "shard_plan"
+	// KindShardPlaced records one shard's placement lease: which
+	// worker accepted it, under which worker-side job id, and exactly
+	// which global scenario indices that submission carried (the
+	// positional mapping a re-adopted event stream is decoded with).
+	KindShardPlaced Kind = "shard_placed"
+	// KindShardTerminal records that a shard's gather loop finished:
+	// every one of its scenarios has a committed row.
+	KindShardTerminal Kind = "shard_terminal"
+
+	// KindCleanShutdown is a store-level marker (Job empty) appended
+	// when a daemon finishes a graceful shutdown with every runner
+	// drained. Its presence tells the next open that "running"
+	// histories cannot exist by accident; its absence marks a crash.
+	// Markers are consumed at recovery: the rewritten journal drops
+	// them, so each one describes exactly one shutdown.
+	KindCleanShutdown Kind = "clean_shutdown"
 )
 
 // Record is one journal entry. Exactly one of the payload pointers
@@ -54,11 +79,14 @@ type Record struct {
 	Job  string    `json:"job"`
 	Time time.Time `json:"time"`
 
-	Submitted   *SubmittedRecord   `json:"submitted,omitempty"`
-	Row         *RowRecord         `json:"row,omitempty"`
-	Telemetry   *TelemetryRecord   `json:"telemetry,omitempty"`
-	Finished    *FinishedRecord    `json:"finished,omitempty"`
-	Interrupted *InterruptedRecord `json:"interrupted,omitempty"`
+	Submitted     *SubmittedRecord     `json:"submitted,omitempty"`
+	Row           *RowRecord           `json:"row,omitempty"`
+	Telemetry     *TelemetryRecord     `json:"telemetry,omitempty"`
+	Finished      *FinishedRecord      `json:"finished,omitempty"`
+	Interrupted   *InterruptedRecord   `json:"interrupted,omitempty"`
+	ShardPlan     *ShardPlanRecord     `json:"shard_plan,omitempty"`
+	ShardPlaced   *ShardPlacedRecord   `json:"shard_placed,omitempty"`
+	ShardTerminal *ShardTerminalRecord `json:"shard_terminal,omitempty"`
 }
 
 // SubmittedRecord carries the accepted submission.
@@ -98,6 +126,35 @@ type FinishedRecord struct {
 // InterruptedRecord marks a mid-run job whose daemon died.
 type InterruptedRecord struct {
 	Reason string `json:"reason"`
+}
+
+// ShardSpec is one contiguous shard of a federated job's roster:
+// global scenario indices [Start, Start+Count).
+type ShardSpec struct {
+	Start int `json:"start"`
+	Count int `json:"count"`
+}
+
+// ShardPlanRecord records a federated job's shard fan-out.
+type ShardPlanRecord struct {
+	Shards []ShardSpec `json:"shards"`
+}
+
+// ShardPlacedRecord is one shard placement lease. Scenarios lists the
+// global indices the worker-side submission carried, in submission
+// order — the shard job's local scenario index i maps to Scenarios[i].
+type ShardPlacedRecord struct {
+	Shard     int    `json:"shard"`
+	Worker    string `json:"worker"`
+	WorkerJob string `json:"worker_job"`
+	Attempt   int    `json:"attempt"`
+	Scenarios []int  `json:"scenarios"`
+}
+
+// ShardTerminalRecord closes one shard's gather loop.
+type ShardTerminalRecord struct {
+	Shard int    `json:"shard"`
+	State string `json:"state"`
 }
 
 // On-disk framing: an 8-byte file header (magic + format version),

@@ -39,7 +39,9 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -107,6 +109,15 @@ type JobHistory struct {
 	// a snapshot serializes and what event-stream replay feeds from.
 	Records []Record
 
+	// Coordinator-side (darco-sched) history: the journaled shard
+	// fan-out. ShardPlan is the roster cut; Placements holds the most
+	// recent placement lease per shard index; ShardsDone the terminal
+	// state of shards whose gather loop completed. All empty for
+	// worker-tier (darco-served) histories.
+	ShardPlan  []ShardSpec
+	Placements map[int]ShardPlacedRecord
+	ShardsDone map[int]string
+
 	submittedSeq uint64
 }
 
@@ -161,6 +172,7 @@ type Store struct {
 	jobs      map[string]*JobHistory
 	order     []string
 	inJournal map[string]bool // jobs whose records live in journal.wal
+	meta      []Record        // store-level records (Job == "") recovered at Open
 	recovery  Recovery
 	closed    bool
 }
@@ -214,6 +226,41 @@ func (st *Store) Jobs() []*JobHistory {
 	return out
 }
 
+// Meta returns the store-level records (empty Job) recovered at Open,
+// in journal order — notably any KindCleanShutdown marker the previous
+// owner appended. Markers do not survive into the rewritten journal, so
+// each describes exactly the shutdown preceding this Open.
+func (st *Store) Meta() []Record {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Record, len(st.meta))
+	copy(out, st.meta)
+	return out
+}
+
+// OpenWait is Open for a warm standby: while dir is flock-held by a
+// live primary it waits, polling until the lease frees (the kernel
+// drops a dead primary's flock even after SIGKILL, so takeover needs
+// no consensus — just this lock), then recovers and returns like Open.
+// Any error other than the held lease fails immediately.
+func OpenWait(ctx context.Context, dir string, opts Options) (*Store, error) {
+	const poll = 250 * time.Millisecond
+	for {
+		st, err := Open(dir, opts)
+		if err == nil {
+			return st, nil
+		}
+		if !errors.Is(err, ErrLocked) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("store: waiting for lease on %s: %w", dir, ctx.Err())
+		case <-time.After(poll):
+		}
+	}
+}
+
 // recover loads snapshots, replays the journal, compacts terminal
 // journal jobs, and rewrites the journal to the live remainder.
 func (st *Store) recover() error {
@@ -252,7 +299,11 @@ func (st *Store) recover() error {
 	// size is bounded by in-flight work, not history.
 	live := make(map[string]bool)
 	for _, rec := range journalRecs {
-		if snapshotted[rec.Job] {
+		// Store-level records (empty Job) are consumed by this
+		// recovery — the Meta accessor exposes them — and dropped from
+		// the rewritten journal: a clean-shutdown marker describes the
+		// shutdown before this open, not the next one.
+		if rec.Job == "" || snapshotted[rec.Job] {
 			continue
 		}
 		live[rec.Job] = true
@@ -347,10 +398,16 @@ func (st *Store) scanJournal(raw []byte, snapshotted map[string]bool) []Record {
 	return out
 }
 
-// apply folds one record into the job histories.
+// apply folds one record into the job histories. Records with an empty
+// Job are store-level (e.g. the clean-shutdown marker): they carry no
+// job history and are collected separately for Meta.
 func (st *Store) apply(rec *Record) {
 	if rec.Seq > st.seq {
 		st.seq = rec.Seq
+	}
+	if rec.Job == "" {
+		st.meta = append(st.meta, *rec)
+		return
 	}
 	h := st.jobs[rec.Job]
 	if h == nil {
@@ -391,6 +448,24 @@ func (st *Store) apply(rec *Record) {
 			h.Error = i.Reason
 		}
 		h.FinishedAt = rec.Time
+	case KindShardPlan:
+		if p := rec.ShardPlan; p != nil {
+			h.ShardPlan = p.Shards
+		}
+	case KindShardPlaced:
+		if p := rec.ShardPlaced; p != nil {
+			if h.Placements == nil {
+				h.Placements = make(map[int]ShardPlacedRecord)
+			}
+			h.Placements[p.Shard] = *p
+		}
+	case KindShardTerminal:
+		if t := rec.ShardTerminal; t != nil {
+			if h.ShardsDone == nil {
+				h.ShardsDone = make(map[int]string)
+			}
+			h.ShardsDone[t.Shard] = t.State
+		}
 	}
 }
 
@@ -430,7 +505,9 @@ func (st *Store) Append(rec Record) error {
 		return fmt.Errorf("store: sync: %w", err)
 	}
 	st.apply(&rec)
-	st.inJournal[rec.Job] = true
+	if rec.Job != "" {
+		st.inJournal[rec.Job] = true
+	}
 	return nil
 }
 

@@ -1,8 +1,10 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -335,4 +337,145 @@ func TestAppendAfterCloseFails(t *testing.T) {
 	if err := st.Append(Record{Kind: KindStarted, Job: "job-1"}); err == nil {
 		t.Fatal("append on a closed store succeeded")
 	}
+}
+
+// appendFederated journals a coordinator-style mid-run job: submitted,
+// started, a two-shard plan, one placement lease, one gathered row, and
+// one shard terminal — the exact shape a crashed darco-sched leaves.
+func appendFederated(t *testing.T, st *Store, id string) {
+	t.Helper()
+	mustAppend(t, st, Record{Kind: KindSubmitted, Job: id, Time: at(0), Submitted: &SubmittedRecord{
+		Name: "fed-" + id, Scenarios: 3, Request: json.RawMessage(`{"scenarios":[{"profile":"429.mcf"}]}`),
+	}})
+	mustAppend(t, st, Record{Kind: KindStarted, Job: id, Time: at(1)})
+	mustAppend(t, st, Record{Kind: KindShardPlan, Job: id, Time: at(2), ShardPlan: &ShardPlanRecord{
+		Shards: []ShardSpec{{Start: 0, Count: 2}, {Start: 2, Count: 1}},
+	}})
+	mustAppend(t, st, Record{Kind: KindShardPlaced, Job: id, Time: at(3), ShardPlaced: &ShardPlacedRecord{
+		Shard: 0, Worker: "http://w1:8080", WorkerJob: "job-7", Attempt: 2, Scenarios: []int{0, 1},
+	}})
+	mustAppend(t, st, Record{Kind: KindRow, Job: id, Time: at(4), Row: &RowRecord{
+		Index: 1, Row: export.Row{Scenario: "429.mcf", Suite: "SPECint", Scale: 1, GuestInsns: 1234},
+	}})
+	mustAppend(t, st, Record{Kind: KindShardTerminal, Job: id, Time: at(5), ShardTerminal: &ShardTerminalRecord{
+		Shard: 0, State: "done",
+	}})
+}
+
+// checkFederated asserts the shard-level fields appendFederated wrote.
+func checkFederated(t *testing.T, h *JobHistory) {
+	t.Helper()
+	if h.State != "running" || h.Scenarios != 3 {
+		t.Fatalf("history: %+v", h)
+	}
+	if len(h.ShardPlan) != 2 || h.ShardPlan[0] != (ShardSpec{Start: 0, Count: 2}) || h.ShardPlan[1] != (ShardSpec{Start: 2, Count: 1}) {
+		t.Fatalf("shard plan: %+v", h.ShardPlan)
+	}
+	pl, ok := h.Placements[0]
+	if !ok || pl.Worker != "http://w1:8080" || pl.WorkerJob != "job-7" || pl.Attempt != 2 ||
+		len(pl.Scenarios) != 2 || pl.Scenarios[0] != 0 || pl.Scenarios[1] != 1 {
+		t.Fatalf("placement lease: %+v (ok %v)", pl, ok)
+	}
+	if h.ShardsDone[0] != "done" || len(h.ShardsDone) != 1 {
+		t.Fatalf("shard terminals: %+v", h.ShardsDone)
+	}
+	if len(h.Rows) != 1 || h.Rows[1].Row.GuestInsns != 1234 {
+		t.Fatalf("rows: %+v", h.Rows)
+	}
+}
+
+// TestShardRecordsAndMarkerRoundTrip covers the coordinator's record
+// kinds end to end: shard plan / placement / terminal survive a journal
+// replay and then snapshot compaction, and the store-level
+// clean-shutdown marker is visible to exactly the next open.
+func TestShardRecordsAndMarkerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	appendFederated(t, st, "job-1")
+	mustAppend(t, st, Record{Kind: KindCleanShutdown, Time: at(6)})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First reopen: everything replays from the journal, the marker is
+	// exposed via Meta.
+	st2 := mustOpen(t, dir)
+	meta := st2.Meta()
+	if len(meta) != 1 || meta[0].Kind != KindCleanShutdown {
+		t.Fatalf("meta after reopen: %+v", meta)
+	}
+	if len(st2.Jobs()) != 1 {
+		t.Fatalf("%d jobs recovered", len(st2.Jobs()))
+	}
+	checkFederated(t, st2.Jobs()[0])
+	// Finish the job so the next open compacts it into a snapshot.
+	mustAppend(t, st2, Record{Kind: KindFinished, Job: "job-1", Time: at(7), Finished: &FinishedRecord{
+		State: "done", WallMS: 8.5, Parallelism: 2,
+	}})
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second reopen: the marker described only the first shutdown — the
+	// rewritten journal dropped it — and compaction freezes the job.
+	st3 := mustOpen(t, dir)
+	if len(st3.Meta()) != 0 {
+		t.Fatalf("marker leaked into a later open: %+v", st3.Meta())
+	}
+	if rec := st3.Recovery(); rec.Compacted != 1 {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	h := st3.Jobs()[0]
+	if h.State != "done" {
+		t.Fatalf("state %s after finish", h.State)
+	}
+	if len(h.ShardPlan) != 2 || h.Placements[0].WorkerJob != "job-7" || h.ShardsDone[0] != "done" {
+		t.Fatalf("shard fields lost before compaction: %+v", h)
+	}
+	if err := st3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third reopen loads from the snapshot alone: the shard-level
+	// fields must survive the snapshot round trip too.
+	st4 := mustOpen(t, dir)
+	defer st4.Close()
+	if rec := st4.Recovery(); rec.SnapshotJobs != 1 || rec.JournalRecords != 0 {
+		t.Fatalf("snapshot-only recovery: %+v", rec)
+	}
+	h = st4.Jobs()[0]
+	if h.State != "done" || len(h.ShardPlan) != 2 || h.Placements[0].WorkerJob != "job-7" ||
+		h.ShardsDone[0] != "done" || h.Rows[1].Row.GuestInsns != 1234 {
+		t.Fatalf("snapshot history: %+v", h)
+	}
+}
+
+// TestOpenWaitStandbyLease pins the failover-lease contract: a held
+// directory fails fast with ErrLocked, OpenWait blocks until its
+// context ends, and acquires the store the moment the holder closes.
+func TestOpenWaitStandbyLease(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open: %v, want ErrLocked", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := OpenWait(ctx, dir, Options{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("OpenWait under a live holder: %v, want deadline exceeded", err)
+	}
+
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		st.Close()
+	}()
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer waitCancel()
+	st2, err := OpenWait(waitCtx, dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenWait after the holder closed: %v", err)
+	}
+	st2.Close()
 }
