@@ -50,6 +50,8 @@ func main() {
 		par        = flag.Int("par", 0, "campaign worker-pool width (0 = GOMAXPROCS)")
 		scenarioTO = flag.Duration("scenario-timeout", 0, "per-benchmark timeout (0 = none)")
 		report     = flag.Bool("report", false, "print the campaign report (per-benchmark wall times)")
+		pipeDepth  = flag.Int("timing-pipeline", experiments.BenchPipelineDepth,
+			"timing-pipeline window depth for the speed table's pipelined row (0 = omit the row)")
 		jsonDir    = flag.String("json", "", "write a BENCH_<n>.json perf snapshot into this directory and exit")
 		csvPath    = flag.String("csv", "", "stream the suite campaign as CSV to this file")
 		ndjsonPath = flag.String("ndjson", "", "stream the suite campaign as NDJSON rows to this file")
@@ -190,7 +192,7 @@ func main() {
 		if !ok {
 			fatalf("unknown workload %q", *benchName)
 		}
-		rows, err := experiments.TableSpeed(ctx, p, *scale)
+		rows, err := experiments.TableSpeed(ctx, p, *scale, *pipeDepth)
 		if err != nil {
 			fatalf("speed: %v", err)
 		}

@@ -47,6 +47,19 @@ func WithPower(en power.Energies, freqMHz float64) Option {
 	}
 }
 
+// WithTimingPipeline runs the timing simulator on its own goroutine,
+// fed from the ordered retire stream through a bounded pipeline of
+// depth batches (each timing.DefaultPipelineBatch instructions), so
+// emulation runs ahead of timing instead of serializing behind it.
+// Synchronization events and excursion boundaries are pipeline
+// barriers, and Step/Snapshot drain the pipeline, so Stats — timing
+// included — are bit-identical to the synchronous path at any depth.
+// Depth 0 keeps today's synchronous reference path; the option is
+// inert without WithTiming. Negative depths are rejected.
+func WithTimingPipeline(depth int) Option {
+	return func(e *Engine) { e.cfg.TimingPipeline = depth }
+}
+
 // WithValidation compares co-designed vs authoritative state at every
 // Nth synchronization in addition to the end of the application (0
 // disables periodic validation).
@@ -119,6 +132,9 @@ func NewEngine(opts ...Option) (*Engine, error) {
 	}
 	if e.cfg.ValidateEveryNSyncs < 0 {
 		return nil, fmt.Errorf("darco: negative validation interval %d", e.cfg.ValidateEveryNSyncs)
+	}
+	if e.cfg.TimingPipeline < 0 {
+		return nil, fmt.Errorf("darco: negative timing-pipeline depth %d", e.cfg.TimingPipeline)
 	}
 	return e, nil
 }

@@ -6,13 +6,13 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
-	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	darco "darco"
 	"darco/export"
+	"darco/internal/testutil"
 	"darco/internal/timing"
 	"darco/internal/workload"
 )
@@ -52,24 +52,7 @@ func runCampaign(t *testing.T, parallelism int) *darco.CampaignReport {
 
 func checkGolden(t *testing.T, name string, got []byte) {
 	t.Helper()
-	path := filepath.Join("testdata", name)
-	if *update {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, got, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		return
-	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("read golden (run `go test ./export -update` to create): %v", err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Errorf("%s drifted from golden (run `go test ./export -update` if intended)\ngot:\n%s\nwant:\n%s",
-			name, got, want)
-	}
+	testutil.CheckGolden(t, filepath.Join("testdata", name), got, *update, "go test ./export -update")
 }
 
 func TestGoldenJSONAndCSVRoundTrip(t *testing.T) {

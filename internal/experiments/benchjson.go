@@ -40,6 +40,11 @@ type BenchSnapshot struct {
 	Benches   map[string]BenchEntry `json:"benches"`
 }
 
+// BenchPipelineDepth is the timing-pipeline window depth the perf
+// snapshots and speed benches measure (deep enough that the emulator
+// rarely blocks on the timing drain, small enough to bound buffering).
+const BenchPipelineDepth = 8
+
 // measure runs f once and reports its wall time and allocation cost.
 func measure(f func() error) (BenchEntry, error) {
 	var before, after runtime.MemStats
@@ -77,10 +82,10 @@ func CollectBenchSnapshot(ctx context.Context, scale float64) (*BenchSnapshot, e
 		return nil, err
 	}
 
-	speed := func(name string, cfg darco.Config, timing bool) error {
+	speed := func(name string, timing bool, opts ...darco.Option) error {
 		var res *darco.Result
 		entry, err := measure(func() error {
-			eng, err := darco.NewEngine(darco.WithConfig(cfg))
+			eng, err := darco.NewEngine(opts...)
 			if err != nil {
 				return err
 			}
@@ -104,10 +109,17 @@ func CollectBenchSnapshot(ctx context.Context, scale float64) (*BenchSnapshot, e
 		snap.Benches[name] = entry
 		return nil
 	}
-	if err := speed("TableSpeedFunctional", darco.DefaultConfig(), false); err != nil {
+	if err := speed("TableSpeedFunctional", false, darco.WithConfig(darco.DefaultConfig())); err != nil {
 		return nil, err
 	}
-	if err := speed("TableSpeedTiming", darco.TimingConfig(), true); err != nil {
+	if err := speed("TableSpeedTiming", true, darco.WithConfig(darco.TimingConfig())); err != nil {
+		return nil, err
+	}
+	// The decoupled timing pipeline at the default bench depth: counters
+	// are bit-identical to TableSpeedTiming (the determinism harness pins
+	// that), so the ns/op ratio between the two is the pipeline's win.
+	if err := speed("TableSpeedTimingPipelined", true,
+		darco.WithConfig(darco.TimingConfig()), darco.WithTimingPipeline(BenchPipelineDepth)); err != nil {
 		return nil, err
 	}
 

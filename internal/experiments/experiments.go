@@ -246,21 +246,34 @@ type SpeedRow struct {
 
 // TableSpeed reproduces the §VI-A emulation/simulation speed table on a
 // representative benchmark: guest and host instruction rates with the
-// timing simulator off and on.
-func TableSpeed(ctx context.Context, p workload.Profile, scale float64) ([]SpeedRow, error) {
+// timing simulator off, on synchronously, and (when pipelineDepth > 0)
+// on behind the decoupled timing pipeline at that window depth. The
+// pipelined row's counters are bit-identical to the synchronous row's —
+// only the wall-clock rates move.
+func TableSpeed(ctx context.Context, p workload.Profile, scale float64, pipelineDepth int) ([]SpeedRow, error) {
 	im, err := workload.CachedImage(p.Scale(scale))
 	if err != nil {
 		return nil, err
 	}
-	var rows []SpeedRow
-	for _, cfg := range []struct {
+	configs := []struct {
 		name string
-		cfg  darco.Config
+		opts []darco.Option
 	}{
-		{"functional emulation", darco.DefaultConfig()},
-		{"with timing simulator", darco.TimingConfig()},
-	} {
-		eng, err := darco.NewEngine(darco.WithConfig(cfg.cfg))
+		{"functional emulation", []darco.Option{darco.WithConfig(darco.DefaultConfig())}},
+		{"with timing simulator", []darco.Option{darco.WithConfig(darco.TimingConfig())}},
+	}
+	if pipelineDepth > 0 {
+		configs = append(configs, struct {
+			name string
+			opts []darco.Option
+		}{
+			fmt.Sprintf("timing, pipelined (d=%d)", pipelineDepth),
+			[]darco.Option{darco.WithConfig(darco.TimingConfig()), darco.WithTimingPipeline(pipelineDepth)},
+		})
+	}
+	var rows []SpeedRow
+	for _, cfg := range configs {
+		eng, err := darco.NewEngine(cfg.opts...)
 		if err != nil {
 			return nil, err
 		}

@@ -80,20 +80,31 @@ func TestFig7BreakdownSums(t *testing.T) {
 
 func TestTableSpeed(t *testing.T) {
 	p, _ := workload.ByName("429.mcf")
-	rows, err := TableSpeed(context.Background(), p, 0.05)
+	rows, err := TableSpeed(context.Background(), p, 0.05, BenchPipelineDepth)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 {
-		t.Fatalf("rows %d", len(rows))
+	if len(rows) != 3 {
+		t.Fatalf("rows %d, want functional + timing + pipelined", len(rows))
 	}
-	if rows[0].GuestMIPS <= 0 || rows[1].GuestMIPS <= 0 {
-		t.Errorf("speeds: %+v", rows)
+	for _, r := range rows {
+		if r.GuestMIPS <= 0 {
+			t.Errorf("speeds: %+v", rows)
+		}
 	}
 	// Timing simulation must be slower than pure functional emulation.
 	if rows[1].GuestMIPS >= rows[0].GuestMIPS {
 		t.Errorf("timing (%f) should be slower than functional (%f)",
 			rows[1].GuestMIPS, rows[0].GuestMIPS)
+	}
+
+	// Depth 0 keeps the original two-row table.
+	rows, err = TableSpeed(context.Background(), p, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d with pipeline off, want 2", len(rows))
 	}
 }
 

@@ -1,0 +1,83 @@
+// Package testutil holds the byte-comparison helpers shared by the
+// golden and byte-identity tests across the repo (export goldens, serve
+// and sched federated-vs-offline exports, root Stats goldens). The
+// paper's claims rest on bit-identical outputs, so many packages make
+// the same two assertions; this keeps the diff reporting in one place.
+package testutil
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// CheckGolden compares got against the golden file at path. When update
+// is true it rewrites the file (creating parent directories) instead of
+// comparing — wire it to the package's -update flag. The hint names the
+// command that regenerates the file, shown when it is missing or stale.
+func CheckGolden(t testing.TB, path string, got []byte, update bool, hint string) {
+	t.Helper()
+	if update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run `%s` to create): %v", hint, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (run `%s` if intended)\n%s",
+			filepath.Base(path), hint, diffExcerpt(got, want))
+	}
+}
+
+// RequireSameBytes fails the test unless got and want are byte-equal,
+// reporting the first divergence with bounded excerpts of both sides.
+// The label names what is being compared (e.g. "/export.csv").
+func RequireSameBytes(t testing.TB, label string, got, want []byte) {
+	t.Helper()
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs\n%s", label, diffExcerpt(got, want))
+	}
+}
+
+// diffExcerpt locates the first differing byte and renders a bounded
+// window of both sides around it, so multi-megabyte exports produce
+// readable failures.
+func diffExcerpt(got, want []byte) string {
+	off := 0
+	for off < len(got) && off < len(want) && got[off] == want[off] {
+		off++
+	}
+	const window = 200
+	lo := off - window/2
+	if lo < 0 {
+		lo = 0
+	}
+	return fmt.Sprintf("lengths %d vs %d, first difference at byte %d\ngot:  %s\nwant: %s",
+		len(got), len(want), off, excerpt(got, lo, window), excerpt(want, lo, window))
+}
+
+func excerpt(b []byte, lo, n int) string {
+	if lo >= len(b) {
+		return fmt.Sprintf("<ends at %d>", len(b))
+	}
+	hi := lo + n
+	tail := "..."
+	if hi >= len(b) {
+		hi = len(b)
+		tail = ""
+	}
+	head := ""
+	if lo > 0 {
+		head = "..."
+	}
+	return fmt.Sprintf("%s%q%s", head, b[lo:hi], tail)
+}

@@ -1,0 +1,217 @@
+package timing
+
+import (
+	"darco/internal/host"
+	"darco/internal/hostvm"
+)
+
+// DefaultPipelineBatch is how many retired instructions the pipeline
+// packs into one batch before handing it to the drain goroutine.
+const DefaultPipelineBatch = 1024
+
+// pipeEvent is one retired instruction, value-copied at emit time. The
+// copy is what makes the pipeline deterministic: the emulator patches
+// translated code in place (EXIT becomes CHAINED when a chain is
+// installed), so a late consumer dereferencing the original *host.Inst
+// could observe a different instruction than the one that retired. The
+// synchronous path consumes at emit time and never sees such a patch;
+// copying the fields at emit time gives the drain goroutine exactly the
+// same view, whatever the window depth — and removes every shared-memory
+// edge between the emulator and the timing goroutine.
+//
+// The copy is deliberately partial: op/rd/ra/rb are the only Inst
+// fields the timing model reads (opcode class, latency, and the
+// register scoreboard), and the struct is kept at 16 bytes because the
+// producer-side copy bandwidth is the pipeline's overhead on the
+// emulator hot path. If the timing Core ever learns to read another
+// Inst field, add it here — the determinism harness
+// (TestTimingPipelineBitIdentical) fails loudly on the zeroed field.
+type pipeEvent struct {
+	pc         uint32
+	target     uint32
+	addr       uint32
+	op         host.Op
+	rd, ra, rb uint8
+	taken      bool
+}
+
+// pipeBatch is one delivery on the pipeline channel: a run of events,
+// a barrier token (ack non-nil), or both are never combined — barriers
+// travel as their own batch so the producer can block until everything
+// enqueued before the token has been consumed.
+type pipeBatch struct {
+	events []pipeEvent
+	ack    chan struct{}
+}
+
+// Pipeline feeds a retire-event sink (the timing Core's Consume) from
+// its own goroutine: the emulator pushes value-copied events into
+// bounded, ordered batches, and a single drain goroutine replays them
+// into the sink in exactly the retire order. Depth bounds how many
+// batches may be in flight — the emulate-ahead window — so a slow
+// timing model back-pressures emulation instead of buffering without
+// bound.
+//
+// The Pipeline is single-producer: Push, Flush, Barrier, Start and
+// Stop must all be called from the session goroutine. The sink runs on
+// the drain goroutine while the pipeline is running; Stop (and
+// Barrier) establish the happens-before edge that makes reading the
+// sink's state safe afterwards.
+type Pipeline struct {
+	sink     func(hostvm.RetireEvent)
+	depth    int
+	batchCap int
+
+	ch      chan pipeBatch
+	done    chan struct{}
+	free    chan []pipeEvent
+	cur     []pipeEvent
+	running bool
+}
+
+// NewPipeline builds a pipeline over sink with the given window depth
+// in batches (values < 1 mean 1). The pipeline starts stopped: events
+// pushed before Start are forwarded synchronously.
+func NewPipeline(sink func(hostvm.RetireEvent), depth int) *Pipeline {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Pipeline{
+		sink:     sink,
+		depth:    depth,
+		batchCap: DefaultPipelineBatch,
+		// One buffer per in-flight batch, plus the one being filled
+		// and the one being drained.
+		free: make(chan []pipeEvent, depth+2),
+	}
+}
+
+// Depth reports the configured window depth in batches.
+func (p *Pipeline) Depth() int { return p.depth }
+
+// Start spawns the drain goroutine. Idempotent while running.
+func (p *Pipeline) Start() {
+	if p.running {
+		return
+	}
+	p.ch = make(chan pipeBatch, p.depth)
+	p.done = make(chan struct{})
+	p.running = true
+	go p.drain(p.ch, p.done)
+}
+
+// drain is the consumer goroutine: it replays batches into the sink in
+// arrival order, recycles their buffers, and acknowledges barriers.
+func (p *Pipeline) drain(ch chan pipeBatch, done chan struct{}) {
+	defer close(done)
+	// One scratch Inst reused for every replayed event: the sink consumes
+	// synchronously and must not retain ev.Inst past the call (the
+	// synchronous path hands it a pointer into the live code cache, so
+	// that contract already holds).
+	var inst host.Inst
+	for b := range ch {
+		for i := range b.events {
+			e := &b.events[i]
+			inst = host.Inst{Op: e.op, Rd: e.rd, Ra: e.ra, Rb: e.rb}
+			p.sink(hostvm.RetireEvent{
+				Inst:   &inst,
+				PC:     e.pc,
+				Taken:  e.taken,
+				Target: e.target,
+				Addr:   e.addr,
+			})
+		}
+		if b.events != nil {
+			select {
+			case p.free <- b.events[:0]:
+			default:
+			}
+		}
+		if b.ack != nil {
+			close(b.ack)
+		}
+	}
+}
+
+// buf returns an empty event buffer, recycling drained ones.
+func (p *Pipeline) buf() []pipeEvent {
+	select {
+	case b := <-p.free:
+		return b
+	default:
+		return make([]pipeEvent, 0, p.batchCap)
+	}
+}
+
+// Push enqueues one retired instruction, flushing a full batch. When
+// the pipeline is stopped it degrades to a synchronous call, so a push
+// outside a Start/Stop window can never strand an event in the buffer.
+func (p *Pipeline) Push(ev hostvm.RetireEvent) {
+	if !p.running {
+		p.sink(ev)
+		return
+	}
+	if p.cur == nil {
+		p.cur = p.buf()
+	}
+	in := ev.Inst
+	p.cur = append(p.cur, pipeEvent{
+		pc:     ev.PC,
+		target: ev.Target,
+		addr:   ev.Addr,
+		op:     in.Op,
+		rd:     in.Rd,
+		ra:     in.Ra,
+		rb:     in.Rb,
+		taken:  ev.Taken,
+	})
+	if len(p.cur) >= p.batchCap {
+		p.Flush()
+	}
+}
+
+// Flush hands the partially filled batch to the drain goroutine (an
+// ordering point, not a wait). The session calls it at every excursion
+// boundary, so no events linger in the producer buffer while the
+// controller runs outside the co-designed component.
+func (p *Pipeline) Flush() {
+	if !p.running || len(p.cur) == 0 {
+		return
+	}
+	p.ch <- pipeBatch{events: p.cur}
+	p.cur = nil
+}
+
+// Barrier flushes and then blocks until the drain goroutine has
+// consumed everything enqueued before it. Synchronization events are
+// barriers: when the controller mediates a sync, the timing core has
+// consumed exactly the instructions retired before it — the same state
+// the synchronous path would be in — so sync-sensitive readers observe
+// identical cores at any depth.
+func (p *Pipeline) Barrier() {
+	if !p.running {
+		return
+	}
+	p.Flush()
+	ack := make(chan struct{})
+	p.ch <- pipeBatch{ack: ack}
+	<-ack
+}
+
+// Stop drains the pipeline and terminates the drain goroutine. After
+// Stop returns, everything pushed has been consumed and the sink's
+// state may be read from the caller's goroutine. Idempotent when
+// stopped; Start may be called again afterwards (the session runs the
+// pipeline only while inside Step, so an abandoned session leaks no
+// goroutine and cancellation leaves the timing core consistent).
+func (p *Pipeline) Stop() {
+	if !p.running {
+		return
+	}
+	p.Flush()
+	close(p.ch)
+	<-p.done
+	p.running = false
+	p.ch = nil
+	p.done = nil
+}

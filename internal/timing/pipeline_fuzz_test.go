@@ -1,0 +1,80 @@
+package timing
+
+import (
+	"testing"
+
+	"darco/internal/host"
+	"darco/internal/hostvm"
+)
+
+// FuzzPipelineBarriers drives the pipeline's barrier logic with random
+// schedules of pushes, flushes, barriers (sync markers), stop/start
+// cycles (excursion and Step boundaries) and early cancellations
+// (pushes against a stopped pipeline), at random depths and batch
+// sizes. Whatever the schedule, the sink must observe every pushed
+// event exactly once, in push order, and the run must terminate — no
+// deadlock, no drop, no reorder, no duplicate.
+//
+// Byte grammar: data[0] picks the window depth (1..8), data[1] the
+// batch size (1..16); every following byte is one operation:
+//
+//	0x00..0xB3  push 1..7 events
+//	0xB4..0xC7  Flush (excursion boundary)
+//	0xC8..0xDB  Barrier (sync marker)
+//	0xDC..0xEF  Stop+Start (step boundary / drain-and-resume)
+//	0xF0..0xFF  Stop (cancellation; later pushes go synchronous)
+func FuzzPipelineBarriers(f *testing.F) {
+	f.Add([]byte{0x01, 0x03, 0x05, 0xC8, 0x02, 0xB4, 0x06, 0xDC, 0x01})
+	f.Add([]byte{0x07, 0x01, 0xF0, 0x04, 0xC8, 0x04, 0xDC, 0xC8, 0xC8})
+	f.Add([]byte{0x04, 0x10, 0x10, 0x20, 0x30, 0xB4, 0xB4, 0xC8, 0xDC, 0xF0, 0x11, 0xDC, 0x22})
+	f.Add([]byte{0x02, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		depth := int(data[0]%8) + 1
+		var got []uint32
+		p := NewPipeline(func(ev hostvm.RetireEvent) { got = append(got, ev.PC) }, depth)
+		p.batchCap = int(data[1]%16) + 1
+
+		var want []uint32
+		next := uint32(0)
+		push := func(n int) {
+			for i := 0; i < n; i++ {
+				in := host.Inst{Op: host.NOPH}
+				p.Push(hostvm.RetireEvent{Inst: &in, PC: next})
+				want = append(want, next)
+				next++
+			}
+		}
+		p.Start()
+		for _, b := range data[2:] {
+			switch {
+			case b < 0xB4:
+				push(int(b%7) + 1)
+			case b < 0xC8:
+				p.Flush()
+			case b < 0xDC:
+				p.Barrier()
+				if len(got) != len(want) {
+					t.Fatalf("after barrier: sink saw %d events, %d pushed (dropped or buffered past a barrier)",
+						len(got), len(want))
+				}
+			case b < 0xF0:
+				p.Stop()
+				p.Start()
+			default:
+				p.Stop()
+			}
+		}
+		p.Stop()
+		if len(got) != len(want) {
+			t.Fatalf("sink saw %d events, %d pushed", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("event %d: got pc %d, want %d (reordered)", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -30,6 +30,14 @@ type Config struct {
 	Power   *power.Energies
 	FreqMHz float64
 
+	// TimingPipeline, when > 0 (and Timing enabled), decouples the
+	// timing simulator from emulation: retired instructions flow to
+	// the timing core through bounded, ordered batches drained on a
+	// separate goroutine, with synchronization events as barriers. The
+	// value is the window depth in batches; 0 keeps the synchronous
+	// reference path. Stats are bit-identical at any depth.
+	TimingPipeline int
+
 	// ValidateEveryNSyncs compares co-designed vs authoritative state
 	// at every Nth synchronization in addition to the end of the
 	// application (0 disables periodic validation).

@@ -2,7 +2,6 @@ package sched_test
 
 import (
 	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -14,6 +13,7 @@ import (
 	"time"
 
 	darco "darco"
+	"darco/internal/testutil"
 	"darco/sched"
 	"darco/serve"
 )
@@ -196,10 +196,7 @@ func TestFederatedExportsByteIdentical(t *testing.T) {
 	want := runReference(t, body, exportPaths)
 	base := coord.URL + "/api/v1/jobs/" + st.ID
 	for _, p := range exportPaths {
-		got := fetch(t, base+p, http.StatusOK, "")
-		if !bytes.Equal(got, want[p]) {
-			t.Errorf("%s differs from the single-node bytes:\n--- federated ---\n%.400s\n--- single-node ---\n%.400s", p, got, want[p])
-		}
+		testutil.RequireSameBytes(t, p+" federated vs single-node", fetch(t, base+p, http.StatusOK, ""), want[p])
 	}
 
 	// ?wall=1 carries the coordinator's campaign wall and the shard
@@ -316,10 +313,7 @@ func TestFederatedFailureParity(t *testing.T) {
 	want := runReference(t, body, exportPaths)
 	base := coord.URL + "/api/v1/jobs/" + st.ID
 	for _, p := range exportPaths {
-		got := fetch(t, base+p, http.StatusOK, "")
-		if !bytes.Equal(got, want[p]) {
-			t.Errorf("%s differs from the single-node bytes:\n--- federated ---\n%.400s\n--- single-node ---\n%.400s", p, got, want[p])
-		}
+		testutil.RequireSameBytes(t, p+" federated vs single-node", fetch(t, base+p, http.StatusOK, ""), want[p])
 	}
 }
 
@@ -393,10 +387,8 @@ func TestWorkerKillMidCampaign(t *testing.T) {
 	}
 
 	want := runReference(t, body, []string{"/export.csv"})
-	got := fetch(t, coord.URL+"/api/v1/jobs/"+st.ID+"/export.csv", http.StatusOK, "text/csv")
-	if !bytes.Equal(got, want["/export.csv"]) {
-		t.Errorf("merged CSV differs from the unsharded run:\n--- federated ---\n%s\n--- single-node ---\n%s", got, want["/export.csv"])
-	}
+	testutil.RequireSameBytes(t, "merged CSV federated vs unsharded",
+		fetch(t, coord.URL+"/api/v1/jobs/"+st.ID+"/export.csv", http.StatusOK, "text/csv"), want["/export.csv"])
 
 	// The re-dispatch is visible in the pool counters: the victim is
 	// unhealthy with a retry charged, and the survivor gathered rows.

@@ -16,6 +16,7 @@ import (
 
 	darco "darco"
 	"darco/export"
+	"darco/internal/testutil"
 	"darco/internal/workload"
 	"darco/serve"
 	"darco/telemetry"
@@ -250,15 +251,9 @@ func TestEndToEndSubmitPollExport(t *testing.T) {
 	}
 	wantJSON, wantCSV, wantNDJSON := offlineExport(t, scenarios)
 	base := ts.URL + "/api/v1/jobs/" + st.ID
-	if got := fetch(t, base+"/export.json", 200, "application/json"); !bytes.Equal(got, wantJSON) {
-		t.Errorf("export.json differs from offline export:\n%s\nvs:\n%s", got, wantJSON)
-	}
-	if got := fetch(t, base+"/export.csv", 200, "text/csv"); !bytes.Equal(got, wantCSV) {
-		t.Errorf("export.csv differs from offline export:\n%s\nvs:\n%s", got, wantCSV)
-	}
-	if got := fetch(t, base+"/export.ndjson", 200, "application/x-ndjson"); !bytes.Equal(got, wantNDJSON) {
-		t.Errorf("export.ndjson differs from offline export:\n%s\nvs:\n%s", got, wantNDJSON)
-	}
+	testutil.RequireSameBytes(t, "export.json vs offline export", fetch(t, base+"/export.json", 200, "application/json"), wantJSON)
+	testutil.RequireSameBytes(t, "export.csv vs offline export", fetch(t, base+"/export.csv", 200, "text/csv"), wantCSV)
+	testutil.RequireSameBytes(t, "export.ndjson vs offline export", fetch(t, base+"/export.ndjson", 200, "application/x-ndjson"), wantNDJSON)
 	html := fetch(t, base+"/export.html", 200, "text/html")
 	if !bytes.Contains(html, []byte("<svg")) || !bytes.Contains(html, []byte("429.mcf")) {
 		t.Error("export.html is not the dashboard")
@@ -372,12 +367,8 @@ func TestConcurrentClientsStreamAndFetch(t *testing.T) {
 
 			wantJSON, wantCSV, _ := offlineExport(t, c.scenarios)
 			base := ts.URL + "/api/v1/jobs/" + st.ID
-			if got := fetch(t, base+"/export.json", 200, ""); !bytes.Equal(got, wantJSON) {
-				t.Errorf("%s: export.json differs from offline export", c.name)
-			}
-			if got := fetch(t, base+"/export.csv", 200, ""); !bytes.Equal(got, wantCSV) {
-				t.Errorf("%s: export.csv differs from offline export", c.name)
-			}
+			testutil.RequireSameBytes(t, c.name+": export.json vs offline export", fetch(t, base+"/export.json", 200, ""), wantJSON)
+			testutil.RequireSameBytes(t, c.name+": export.csv vs offline export", fetch(t, base+"/export.csv", 200, ""), wantCSV)
 		}(c)
 	}
 	wg.Wait()

@@ -22,6 +22,7 @@ type Session struct {
 	eng    *Engine
 	ctl    *controller.Controller
 	core   *timing.Core
+	pipe   *timing.Pipeline // non-nil when the timing pipeline is enabled
 	stream retireStream
 
 	wall      time.Duration
@@ -52,6 +53,9 @@ func (e *Engine) NewSession(im *guest.Image) (*Session, error) {
 	s.ctl = ctl
 	if e.cfg.Timing != nil {
 		s.core = timing.New(*e.cfg.Timing)
+		if e.cfg.TimingPipeline > 0 {
+			s.pipe = timing.NewPipeline(s.core.Consume, e.cfg.TimingPipeline)
+		}
 	}
 	s.installRetireHooks()
 	for _, sub := range e.retireSinks {
@@ -81,31 +85,50 @@ func (s *Session) SubscribeRetires(sink RetireSink, opts ...RetireOption) (unsub
 
 // installRetireHooks points the VM's retire slot and the controller's
 // sync/excursion hooks at what the session currently needs: the timing
-// feed alone (or nothing) when no retire subscriber is attached, the
-// tee of timing feed and stream otherwise.
+// feed (pipelined or synchronous, or nothing) when no retire subscriber
+// is attached, the tee of timing feed and stream otherwise. With the
+// pipeline enabled, every synchronization event is a pipeline barrier
+// and every excursion boundary flushes the producer batch.
 func (s *Session) installRetireHooks() {
 	var timingFn func(hostvm.RetireEvent)
-	if s.core != nil {
+	switch {
+	case s.pipe != nil:
+		timingFn = s.pipe.Push
+	case s.core != nil:
 		timingFn = s.core.Consume
 	}
-	if s.stream.hasSubs() {
+	streamOn := s.stream.hasSubs()
+	if streamOn {
 		s.ctl.CoD.VM.Retire = hostvm.TeeRetire(timingFn, s.stream.push)
-		s.ctl.Cfg.OnSync = s.onSync
-		s.ctl.Cfg.OnExcursion = s.stream.flush
-		return
+	} else {
+		s.ctl.CoD.VM.Retire = timingFn
 	}
-	s.ctl.CoD.VM.Retire = timingFn
-	s.ctl.Cfg.OnExcursion = nil
-	if s.eng.observer != nil {
+	if s.pipe != nil || streamOn || s.eng.observer != nil {
 		s.ctl.Cfg.OnSync = s.onSync
 	} else {
 		s.ctl.Cfg.OnSync = nil
 	}
+	switch {
+	case s.pipe != nil && streamOn:
+		s.ctl.Cfg.OnExcursion = func() { s.pipe.Flush(); s.stream.flush() }
+	case s.pipe != nil:
+		s.ctl.Cfg.OnExcursion = s.pipe.Flush
+	case streamOn:
+		s.ctl.Cfg.OnExcursion = s.stream.flush
+	default:
+		s.ctl.Cfg.OnExcursion = nil
+	}
 }
 
 // onSync fans one controller synchronization event out to the engine's
-// observer and the retire stream's subscribers.
+// observer and the retire stream's subscribers. With the pipeline
+// enabled it is a barrier first: the timing core consumes everything
+// retired before the synchronization point before anyone observes the
+// event — exactly where the synchronous path would be.
 func (s *Session) onSync(ev controller.SyncEvent) {
+	if s.pipe != nil {
+		s.pipe.Barrier()
+	}
 	pub := syncEvent(ev)
 	if obs := s.eng.observer; obs != nil {
 		obs.OnSync(pub)
@@ -135,7 +158,18 @@ func (s *Session) Step(ctx context.Context, budget uint64) (*Result, error) {
 		return s.Snapshot(), nil
 	}
 	s.stepStart = time.Now()
+	// The timing pipeline runs only while the controller does: Start
+	// here, Stop (drain) on every way out — so cancellation and errors
+	// leave the timing core caught up and consistent, Snapshot below
+	// reads a quiescent core, and an abandoned session leaks no
+	// goroutine.
+	if s.pipe != nil {
+		s.pipe.Start()
+	}
 	err := s.ctl.RunContext(ctx, budget)
+	if s.pipe != nil {
+		s.pipe.Stop()
+	}
 	s.wall += time.Since(s.stepStart)
 	s.stepStart = time.Time{}
 	if err != nil {
@@ -165,6 +199,12 @@ func (s *Session) Err() error { return s.err }
 // attached timing core (if any) is a deep copy with the TOL overhead
 // accumulated so far charged onto it.
 func (s *Session) Snapshot() *Result {
+	// The pipeline only runs inside Step, which stops (drains) it on
+	// every path; this no-ops unless a future caller snapshots a
+	// half-stepped session, in which case it drains first.
+	if s.pipe != nil {
+		s.pipe.Stop()
+	}
 	ctl := s.ctl
 	res := &Result{
 		Stats:         ctl.CoD.Stats,
