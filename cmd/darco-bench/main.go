@@ -8,6 +8,7 @@
 //
 //	darco-bench -exp all
 //	darco-bench -exp fig4 -scale 1.0 -par 8
+//	darco-bench -exp speed -obs
 //	darco-bench -exp warmup -bench 429.mcf
 //	darco-bench -json . -scale 0.5
 //	darco-bench -exp fig4 -csv out.csv -html dash.html
@@ -52,6 +53,7 @@ func main() {
 		report     = flag.Bool("report", false, "print the campaign report (per-benchmark wall times)")
 		pipeDepth  = flag.Int("timing-pipeline", experiments.BenchPipelineDepth,
 			"timing-pipeline window depth for the speed table's pipelined row (0 = omit the row)")
+		obsOn      = flag.Bool("obs", false, "attach profiling counters to the speed table and print cache/pipeline columns")
 		jsonDir    = flag.String("json", "", "write a BENCH_<n>.json perf snapshot into this directory and exit")
 		csvPath    = flag.String("csv", "", "stream the suite campaign as CSV to this file")
 		ndjsonPath = flag.String("ndjson", "", "stream the suite campaign as NDJSON rows to this file")
@@ -192,14 +194,27 @@ func main() {
 		if !ok {
 			fatalf("unknown workload %q", *benchName)
 		}
-		rows, err := experiments.TableSpeed(ctx, p, *scale, *pipeDepth)
+		table := experiments.TableSpeed
+		if *obsOn {
+			table = experiments.TableSpeedObs
+		}
+		rows, err := table(ctx, p, *scale, *pipeDepth)
 		if err != nil {
 			fatalf("speed: %v", err)
 		}
 		fmt.Println("Table (§VI-A): DARCO speed")
-		fmt.Printf("%-24s%14s%14s%12s\n", "configuration", "guest MIPS", "host MIPS", "wall")
+		fmt.Printf("%-24s%14s%14s%12s", "configuration", "guest MIPS", "host MIPS", "wall")
+		if *obsOn {
+			fmt.Printf("%12s%12s%10s%10s", "decode-hit%", "block-hit%", "flushes", "stalls")
+		}
+		fmt.Println()
 		for _, r := range rows {
-			fmt.Printf("%-24s%14.2f%14.2f%12s\n", r.Config, r.GuestMIPS, r.HostMIPS, r.Wall.Round(1e6))
+			fmt.Printf("%-24s%14.2f%14.2f%12s", r.Config, r.GuestMIPS, r.HostMIPS, r.Wall.Round(1e6))
+			if r.Obs != nil {
+				fmt.Printf("%12.2f%12.2f%10d%10d",
+					100*r.Obs.DecodeHitRate(), 100*r.Obs.BlockHitRate(), r.Obs.CodeFlushes, r.Obs.PipelineStalls)
+			}
+			fmt.Println()
 		}
 		fmt.Println()
 	}

@@ -14,6 +14,7 @@
 //	curl -s localhost:9090/api/v1/jobs/job-1
 //	curl -N localhost:9090/api/v1/jobs/job-1/events
 //	curl -s localhost:9090/api/v1/jobs/job-1/export.csv
+//	curl -s localhost:9090/api/v1/jobs/job-1/trace
 //	curl -s localhost:9090/api/v1/workers
 //
 // Workers can also self-register at runtime:
@@ -43,6 +44,11 @@
 //
 //	darco-sched -addr :9091 -data /var/lib/darco-sched -standby -worker http://node1:8080
 //
+// -pprof mounts Go's net/http/pprof profiling handlers under
+// /debug/pprof/ on the same listener (off by default: the handlers
+// expose goroutine dumps and CPU profiles, so enable them only where
+// the listener is trusted).
+//
 // SIGINT/SIGTERM shut the coordinator down gracefully: submissions are
 // rejected, running federated jobs (and their worker-side shard jobs)
 // are cancelled and journaled terminal, queued jobs are left journaled
@@ -55,14 +61,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	darco "darco"
+	"darco/obs"
 	"darco/sched"
 	"darco/store"
 )
@@ -90,6 +98,7 @@ func main() {
 		data    = flag.String("data", "", "durable store directory (empty = in-memory only)")
 		fsync   = flag.String("fsync", "lifecycle", "journal fsync policy with -data: lifecycle, always or none")
 		standby = flag.Bool("standby", false, "with -data: wait for the directory's flock lease instead of failing when another coordinator holds it, then take over")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		version = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Var(&workers, "worker", "worker base URL (repeatable), e.g. http://node1:8080")
@@ -99,34 +108,45 @@ func main() {
 		return
 	}
 
-	logger := log.New(os.Stderr, "darco-sched: ", log.LstdFlags)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("daemon", "darco-sched")
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	var st *store.Store
+	var sm *store.Metrics
 	if *data != "" {
 		policy, err := fsyncPolicy(*fsync)
 		if err != nil {
-			logger.Fatal(err)
+			fatal("bad flag", "err", err)
 		}
-		opts := store.Options{Sync: policy, Logf: logger.Printf}
+		sm = &store.Metrics{
+			AppendSeconds: obs.NewHistogram(obs.ExpBuckets(1e-6, 4, 10)),
+			FsyncSeconds:  obs.NewHistogram(obs.ExpBuckets(1e-6, 4, 10)),
+		}
+		opts := store.Options{Sync: policy, Metrics: sm, Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...), "component", "store")
+		}}
 		if *standby {
 			// The standby blocks here until the primary's flock lease
 			// frees — the kernel drops it the instant the primary dies,
 			// SIGKILL included — then recovers and serves like any
 			// restart. SIGINT/SIGTERM abort the wait.
 			waitCtx, waitStop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-			logger.Printf("standby: waiting for the lease on %s", *data)
+			logger.Info("standby: waiting for the lease", "dir", *data)
 			st, err = store.OpenWait(waitCtx, *data, opts)
 			waitStop()
 		} else {
 			st, err = store.Open(*data, opts)
 		}
 		if err != nil {
-			logger.Fatal(err)
+			fatal("open store failed", "dir", *data, "err", err)
 		}
 		defer st.Close()
-		logger.Printf("store %s recovered: %s", *data, st.Recovery())
+		logger.Info("store recovered", "dir", *data, "recovery", st.Recovery().String())
 	} else if *standby {
-		logger.Fatal("-standby requires -data")
+		fatal("-standby requires -data")
 	}
 
 	coord, err := sched.New(sched.Options{
@@ -138,16 +158,17 @@ func main() {
 		ShardRetries:  *retries,
 		ProbeInterval: *probe,
 		Store:         st,
-		Logf:          logger.Printf,
+		StoreMetrics:  sm,
+		Log:           logger,
 	})
 	if err != nil {
-		logger.Fatal(err)
+		fatal("coordinator init failed", "err", err)
 	}
-	hs := &http.Server{Addr: *addr, Handler: coord}
+	hs := &http.Server{Addr: *addr, Handler: withPprof(*pprofOn, coord)}
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (%d workers registered)", *addr, len(workers))
+		logger.Info("listening", "addr", *addr, "workers_registered", len(workers), "pprof", *pprofOn)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -155,26 +176,44 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errc:
-		logger.Fatalf("listen: %v", err)
+		fatal("listen failed", "err", err)
 	case <-ctx.Done():
 	}
 
-	logger.Printf("shutting down (grace %s)...", *grace)
+	logger.Info("shutting down", "grace", grace.String())
 	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	// Drain the federated jobs first — cancelling them ends any open
 	// /events streams and cancels the worker-side shard jobs — then
 	// close the listener.
 	if err := coord.Shutdown(shutCtx); err != nil {
-		logger.Fatalf("job shutdown: %v", err)
+		fatal("job shutdown failed", "err", err)
 	}
 	if err := hs.Shutdown(shutCtx); err != nil {
-		logger.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Printf("serve: %v", err)
+		logger.Warn("serve", "err", err)
 	}
-	fmt.Fprintln(os.Stderr, "darco-sched: bye")
+	logger.Info("bye")
+}
+
+// withPprof wraps the daemon handler with Go's pprof endpoints when
+// enabled. Explicit handler registrations on a private mux — importing
+// net/http/pprof's DefaultServeMux side effects would mount the
+// handlers even with the flag off.
+func withPprof(enabled bool, h http.Handler) http.Handler {
+	if !enabled {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 func fsyncPolicy(name string) (store.SyncPolicy, error) {

@@ -15,6 +15,8 @@
 //	curl -s localhost:8080/api/v1/jobs/job-1
 //	curl -N localhost:8080/api/v1/jobs/job-1/events
 //	curl -s localhost:8080/api/v1/jobs/job-1/export.csv
+//	curl -s localhost:8080/api/v1/jobs/job-1/trace
+//	curl -s localhost:8080/metrics
 //
 // With -data, every job's lifecycle is journaled to the durable
 // campaign store in that directory: restarting the daemon over the
@@ -22,6 +24,11 @@
 // the pre-restart daemon's), re-queues jobs that were still waiting,
 // and marks jobs that were mid-run as interrupted with their partial
 // results preserved. -fsync picks the journal durability policy.
+//
+// -pprof mounts Go's net/http/pprof profiling handlers under
+// /debug/pprof/ on the same listener (off by default: the handlers
+// expose goroutine dumps and CPU profiles, so enable them only where
+// the listener is trusted).
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: submissions are
 // rejected, running campaigns are cancelled, and the process exits
@@ -33,14 +40,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	darco "darco"
+	"darco/obs"
 	"darco/serve"
 	"darco/store"
 )
@@ -56,6 +65,7 @@ func main() {
 		fsync   = flag.String("fsync", "lifecycle", "journal fsync policy with -data: lifecycle, always or none")
 		grace   = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget")
 		id      = flag.String("worker-id", "", "worker id reported in /healthz (default <hostname>-<pid>)")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		version = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
@@ -64,34 +74,49 @@ func main() {
 		return
 	}
 
-	logger := log.New(os.Stderr, "darco-served: ", log.LstdFlags)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("daemon", "darco-served")
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 	opts := serve.Options{
 		Workers:        *workers,
 		QueueCapacity:  *queue,
 		MaxParallelism: *maxPar,
 		MaxScenarios:   *maxScen,
 		WorkerID:       *id,
-		Logf:           logger.Printf,
+		Log:            logger,
 	}
 	if *data != "" {
 		policy, err := fsyncPolicy(*fsync)
 		if err != nil {
-			logger.Fatal(err)
+			fatal("bad flag", "err", err)
 		}
-		st, err := store.Open(*data, store.Options{Sync: policy, Logf: logger.Printf})
+		sm := &store.Metrics{
+			AppendSeconds: obs.NewHistogram(obs.ExpBuckets(1e-6, 4, 10)),
+			FsyncSeconds:  obs.NewHistogram(obs.ExpBuckets(1e-6, 4, 10)),
+		}
+		st, err := store.Open(*data, store.Options{
+			Sync:    policy,
+			Metrics: sm,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...), "component", "store")
+			},
+		})
 		if err != nil {
-			logger.Fatalf("open store: %v", err)
+			fatal("open store failed", "dir", *data, "err", err)
 		}
 		defer st.Close()
-		logger.Printf("store %s recovered: %s", *data, st.Recovery())
+		logger.Info("store recovered", "dir", *data, "recovery", st.Recovery().String())
 		opts.Store = st
+		opts.StoreMetrics = sm
 	}
 	srv := serve.New(opts)
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	hs := &http.Server{Addr: *addr, Handler: withPprof(*pprofOn, srv)}
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+		logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "pprof", *pprofOn)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -99,11 +124,11 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errc:
-		logger.Fatalf("listen: %v", err)
+		fatal("listen failed", "err", err)
 	case <-ctx.Done():
 	}
 
-	logger.Printf("shutting down (grace %s)...", *grace)
+	logger.Info("shutting down", "grace", grace.String())
 	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	// Drain the job machinery first: cancelling the jobs is what ends
@@ -112,15 +137,33 @@ func main() {
 	// The store (the deferred Close above) outlives the drain, so the
 	// cancelled jobs' terminal records reach the journal.
 	if err := srv.Shutdown(shutCtx); err != nil {
-		logger.Fatalf("job shutdown: %v", err)
+		fatal("job shutdown failed", "err", err)
 	}
 	if err := hs.Shutdown(shutCtx); err != nil {
-		logger.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Printf("serve: %v", err)
+		logger.Warn("serve", "err", err)
 	}
-	fmt.Fprintln(os.Stderr, "darco-served: bye")
+	logger.Info("bye")
+}
+
+// withPprof wraps the daemon handler with Go's pprof endpoints when
+// enabled. Explicit handler registrations on a private mux — importing
+// net/http/pprof's DefaultServeMux side effects would mount the
+// handlers even with the flag off.
+func withPprof(enabled bool, h http.Handler) http.Handler {
+	if !enabled {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 func fsyncPolicy(name string) (store.SyncPolicy, error) {

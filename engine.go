@@ -9,6 +9,7 @@ import (
 	"darco/internal/power"
 	"darco/internal/timing"
 	"darco/internal/tol"
+	"darco/obs"
 )
 
 // DefaultCheckInterval is the default granularity, in guest
@@ -58,6 +59,19 @@ func WithPower(en power.Energies, freqMHz float64) Option {
 // inert without WithTiming. Negative depths are rejected.
 func WithTimingPipeline(depth int) Option {
 	return func(e *Engine) { e.cfg.TimingPipeline = depth }
+}
+
+// WithObsCounters attaches hot-path profiling counters to every
+// session the engine (and any engine a campaign derives from it)
+// creates: decode-cache and block-cache hit/miss, code-cache flushes,
+// timing-pipeline pushes/flushes/stalls. The caller owns c and may
+// share one instance across engines — all updates are atomic — or
+// allocate one per run for per-run attribution; Session.Snapshot
+// surfaces the counter values as Result.Obs. Nil detaches (the
+// default): the instrumented paths then cost one predictable branch,
+// nothing more.
+func WithObsCounters(c *obs.EngineCounters) Option {
+	return func(e *Engine) { e.cfg.TOL.Counters = c }
 }
 
 // WithValidation compares co-designed vs authoritative state at every

@@ -15,6 +15,7 @@ import (
 	darco "darco"
 	"darco/internal/tol"
 	"darco/internal/workload"
+	"darco/obs"
 )
 
 // BenchResult is one benchmark's full-stack measurement.
@@ -236,12 +237,14 @@ func Fig7(rs []BenchResult) *Figure {
 	return f
 }
 
-// SpeedRow is one row of the §VI-A speed table.
+// SpeedRow is one row of the §VI-A speed table. Obs is non-nil only
+// when the row ran with profiling counters attached (TableSpeedObs).
 type SpeedRow struct {
 	Config    string
 	GuestMIPS float64
 	HostMIPS  float64
 	Wall      time.Duration
+	Obs       *obs.EngineCountersSnapshot
 }
 
 // TableSpeed reproduces the §VI-A emulation/simulation speed table on a
@@ -251,6 +254,17 @@ type SpeedRow struct {
 // pipelined row's counters are bit-identical to the synchronous row's —
 // only the wall-clock rates move.
 func TableSpeed(ctx context.Context, p workload.Profile, scale float64, pipelineDepth int) ([]SpeedRow, error) {
+	return tableSpeed(ctx, p, scale, pipelineDepth, false)
+}
+
+// TableSpeedObs is TableSpeed with a fresh set of hot-path profiling
+// counters attached per configuration, so each row carries its own
+// cache-hit and pipeline-traffic snapshot (darco-bench -obs).
+func TableSpeedObs(ctx context.Context, p workload.Profile, scale float64, pipelineDepth int) ([]SpeedRow, error) {
+	return tableSpeed(ctx, p, scale, pipelineDepth, true)
+}
+
+func tableSpeed(ctx context.Context, p workload.Profile, scale float64, pipelineDepth int, withObs bool) ([]SpeedRow, error) {
 	im, err := workload.CachedImage(p.Scale(scale))
 	if err != nil {
 		return nil, err
@@ -273,7 +287,12 @@ func TableSpeed(ctx context.Context, p workload.Profile, scale float64, pipeline
 	}
 	var rows []SpeedRow
 	for _, cfg := range configs {
-		eng, err := darco.NewEngine(cfg.opts...)
+		opts := cfg.opts
+		if withObs {
+			opts = append(append([]darco.Option(nil), opts...),
+				darco.WithObsCounters(&obs.EngineCounters{}))
+		}
+		eng, err := darco.NewEngine(opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -282,7 +301,7 @@ func TableSpeed(ctx context.Context, p workload.Profile, scale float64, pipeline
 			return nil, err
 		}
 		rows = append(rows, SpeedRow{Config: cfg.name,
-			GuestMIPS: res.GuestMIPS, HostMIPS: res.HostMIPS, Wall: res.Wall})
+			GuestMIPS: res.GuestMIPS, HostMIPS: res.HostMIPS, Wall: res.Wall, Obs: res.Obs})
 	}
 	return rows, nil
 }

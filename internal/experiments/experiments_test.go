@@ -106,6 +106,38 @@ func TestTableSpeed(t *testing.T) {
 	if len(rows) != 2 {
 		t.Fatalf("rows %d with pipeline off, want 2", len(rows))
 	}
+	for _, r := range rows {
+		if r.Obs != nil {
+			t.Errorf("%s: counters attached without -obs", r.Config)
+		}
+	}
+}
+
+func TestTableSpeedObs(t *testing.T) {
+	p, _ := workload.ByName("429.mcf")
+	rows, err := TableSpeedObs(context.Background(), p, 0.05, BenchPipelineDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Obs == nil {
+			t.Fatalf("%s: no counter snapshot", r.Config)
+		}
+		if r.Obs.BlockHits+r.Obs.BlockMisses == 0 {
+			t.Errorf("%s: no block-cache lookups recorded", r.Config)
+		}
+	}
+	// Counters are per-configuration, and only the pipelined run pushes
+	// through the timing pipeline.
+	if rows[0].Obs.PipelinePushes != 0 {
+		t.Errorf("functional row saw %d pipeline pushes", rows[0].Obs.PipelinePushes)
+	}
+	if rows[2].Obs.PipelinePushes == 0 {
+		t.Error("pipelined row recorded no pipeline pushes")
+	}
 }
 
 func TestSortRows(t *testing.T) {

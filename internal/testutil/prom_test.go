@@ -1,0 +1,83 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# HELP darco_jobs Campaign jobs by lifecycle state.
+# TYPE darco_jobs gauge
+darco_jobs{state="done"} 1
+darco_jobs{state="queued"} 0
+# TYPE darco_jobs_total counter
+darco_jobs_total 1
+# TYPE darco_wait_seconds histogram
+darco_wait_seconds_bucket{le="0.1"} 2
+darco_wait_seconds_bucket{le="1"} 3
+darco_wait_seconds_bucket{le="+Inf"} 4
+darco_wait_seconds_sum 2.5
+darco_wait_seconds_count 4
+# TYPE darco_build_info gauge
+darco_build_info{version="0.6.0"} 1
+`
+
+func TestValidatePrometheusAccepts(t *testing.T) {
+	if err := ValidatePrometheus([]byte(goodExposition)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestValidatePrometheusRejects(t *testing.T) {
+	cases := map[string]struct{ input, wantErr string }{
+		"sample before TYPE": {
+			"darco_x 1\n# TYPE darco_x counter\n",
+			"no preceding # TYPE",
+		},
+		"duplicate TYPE": {
+			"# TYPE darco_x counter\ndarco_x 1\n# TYPE darco_x counter\n",
+			"declared twice",
+		},
+		"non-contiguous family": {
+			"# TYPE a gauge\n# TYPE b gauge\na{l=\"1\"} 1\nb 2\na{l=\"2\"} 3\n",
+			"reappears",
+		},
+		"bad metric name": {
+			"# TYPE 9bad counter\n",
+			"invalid metric name",
+		},
+		"bad value": {
+			"# TYPE darco_x counter\ndarco_x one\n",
+			"bad value",
+		},
+		"unquoted label": {
+			"# TYPE darco_x counter\ndarco_x{l=1} 1\n",
+			"not quoted",
+		},
+		"histogram without +Inf": {
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"+Inf",
+		},
+		"histogram count mismatch": {
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 2\n",
+			"_count",
+		},
+		"histogram non-cumulative": {
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			"cumulative",
+		},
+		"histogram missing sum": {
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"missing _sum",
+		},
+	}
+	for name, tc := range cases {
+		err := ValidatePrometheus([]byte(tc.input))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.wantErr)
+		}
+	}
+}

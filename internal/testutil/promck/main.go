@@ -1,0 +1,30 @@
+// Command promck validates a Prometheus text exposition read from
+// stdin and exits non-zero with a diagnostic when it is malformed. The
+// CI daemon smoke test pipes both daemons' /metrics output through it:
+//
+//	curl -s localhost:8080/metrics | go run ./internal/testutil/promck
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"darco/internal/testutil"
+)
+
+func main() {
+	raw, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promck: read stdin:", err)
+		os.Exit(1)
+	}
+	if len(raw) == 0 {
+		fmt.Fprintln(os.Stderr, "promck: empty exposition on stdin")
+		os.Exit(1)
+	}
+	if err := testutil.ValidatePrometheus(raw); err != nil {
+		fmt.Fprintln(os.Stderr, "promck:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+package testutil
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// Slogger returns a *slog.Logger that writes every record through
+// t.Logf, so daemon logs interleave with the test's own output and are
+// shown only on failure (or with -v), like t.Logf itself.
+func Slogger(t testing.TB) *slog.Logger {
+	return slog.New(testHandler{t: t})
+}
+
+type testHandler struct {
+	t     testing.TB
+	attrs []slog.Attr
+	group string
+}
+
+func (h testHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h testHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", r.Level, r.Message)
+	write := func(a slog.Attr) {
+		key := a.Key
+		if h.group != "" {
+			key = h.group + "." + key
+		}
+		fmt.Fprintf(&b, " %s=%v", key, a.Value.Resolve().Any())
+	}
+	for _, a := range h.attrs {
+		write(a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		write(a)
+		return true
+	})
+	h.t.Logf("%s", b.String())
+	return nil
+}
+
+func (h testHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	h.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return h
+}
+
+func (h testHandler) WithGroup(name string) slog.Handler {
+	if h.group != "" {
+		name = h.group + "." + name
+	}
+	h.group = name
+	return h
+}

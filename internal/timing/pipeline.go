@@ -1,8 +1,11 @@
 package timing
 
 import (
+	"time"
+
 	"darco/internal/host"
 	"darco/internal/hostvm"
+	"darco/obs"
 )
 
 // DefaultPipelineBatch is how many retired instructions the pipeline
@@ -67,6 +70,12 @@ type Pipeline struct {
 	free    chan []pipeEvent
 	cur     []pipeEvent
 	running bool
+
+	// ctr, when non-nil, receives pipeline profiling: pushes, batch
+	// hand-offs, full-window stalls, and (through its histogram sinks)
+	// batch occupancy and barrier-stall time. Pushes are counted batch-
+	// at-a-time in Flush, so the per-event hot path stays untouched.
+	ctr *obs.EngineCounters
 }
 
 // NewPipeline builds a pipeline over sink with the given window depth
@@ -88,6 +97,11 @@ func NewPipeline(sink func(hostvm.RetireEvent), depth int) *Pipeline {
 
 // Depth reports the configured window depth in batches.
 func (p *Pipeline) Depth() int { return p.depth }
+
+// SetObsCounters attaches profiling counters (nil detaches). Like the
+// rest of the producer API it must be called from the session
+// goroutine, before Start.
+func (p *Pipeline) SetObsCounters(c *obs.EngineCounters) { p.ctr = c }
 
 // Start spawns the drain goroutine. Idempotent while running.
 func (p *Pipeline) Start() {
@@ -178,6 +192,23 @@ func (p *Pipeline) Flush() {
 	if !p.running || len(p.cur) == 0 {
 		return
 	}
+	if p.ctr != nil {
+		p.ctr.PipelinePushes.Add(uint64(len(p.cur)))
+		p.ctr.PipelineFlushes.Add(1)
+		if h := p.ctr.BatchOccupancy; h != nil {
+			h.Observe(float64(len(p.cur)))
+		}
+		// A full window means the emulator is about to block on timing
+		// back-pressure: record the stall, then push for real.
+		select {
+		case p.ch <- pipeBatch{events: p.cur}:
+		default:
+			p.ctr.PipelineStalls.Add(1)
+			p.ch <- pipeBatch{events: p.cur}
+		}
+		p.cur = nil
+		return
+	}
 	p.ch <- pipeBatch{events: p.cur}
 	p.cur = nil
 }
@@ -194,8 +225,15 @@ func (p *Pipeline) Barrier() {
 	}
 	p.Flush()
 	ack := make(chan struct{})
+	var wait time.Time
+	if p.ctr != nil && p.ctr.BarrierStall != nil {
+		wait = time.Now()
+	}
 	p.ch <- pipeBatch{ack: ack}
 	<-ack
+	if p.ctr != nil && p.ctr.BarrierStall != nil {
+		p.ctr.BarrierStall.Observe(time.Since(wait).Seconds())
+	}
 }
 
 // Stop drains the pipeline and terminates the drain goroutine. After

@@ -8,6 +8,7 @@ import (
 	"darco/internal/guestvm"
 	"darco/internal/hostvm"
 	"darco/internal/ir"
+	"darco/obs"
 )
 
 // Config parameterises the TOL.
@@ -36,6 +37,11 @@ type Config struct {
 	// every flag-writing instruction instead of lazily at consumers
 	// and exits (ablation of the lazy-flags emulation-cost reduction).
 	EagerFlags bool
+
+	// Counters, when non-nil, receives hot-path profiling counts
+	// (decode-cache and block-cache hit/miss, code-cache flushes).
+	// Nil costs one predictable branch per instrumented site.
+	Counters *obs.EngineCounters
 }
 
 // DefaultConfig returns the paper-default TOL configuration.
@@ -306,7 +312,13 @@ func (t *TOL) SetHalted() { t.halted = true }
 // through the per-page decode cache.
 func (t *TOL) fetchInst(pc uint32) (guest.Inst, error) {
 	if in, ok := t.dec.Lookup(pc); ok {
+		if t.Cfg.Counters != nil {
+			t.Cfg.Counters.DecodeHits.Add(1)
+		}
 		return in, nil
+	}
+	if t.Cfg.Counters != nil {
+		t.Cfg.Counters.DecodeMisses.Add(1)
 	}
 	var raw [10]byte
 	b0, err := t.Mem.Load8(pc)
@@ -372,7 +384,13 @@ func (t *TOL) dispatch() (RunResult, bool, error) {
 	pc := t.CPU.EIP
 	t.ov[OvLookup] += c.Lookup
 	if blk, ok := t.Cache.Lookup(pc); ok {
+		if t.Cfg.Counters != nil {
+			t.Cfg.Counters.BlockHits.Add(1)
+		}
 		return t.execBlock(blk)
+	}
+	if t.Cfg.Counters != nil {
+		t.Cfg.Counters.BlockMisses.Add(1)
 	}
 
 	in, err := t.Fetch(pc)
@@ -418,6 +436,9 @@ func (t *TOL) doBBTranslation(pc uint32, p *profEntry) error {
 	t.ov[OvBBTrans] += c.BBTransFixed + c.BBTransPerInsn*uint64(blk.GuestInsns)
 	if t.Cache.Insert(blk) {
 		t.IBTC.Flush()
+		if t.Cfg.Counters != nil {
+			t.Cfg.Counters.CodeFlushes.Add(1)
+		}
 	}
 	t.Stats.BBTranslations++
 	t.observe(TranslationEvent{Kind: TransBB, Entry: pc,
@@ -536,6 +557,9 @@ func (t *TOL) promote(entry uint32) error {
 	t.ov[OvSBTrans] += c.SBTransFixed + c.SBTransPerInsn*uint64(blk.GuestInsns)
 	if t.Cache.Insert(blk) {
 		t.IBTC.Flush()
+		if t.Cfg.Counters != nil {
+			t.Cfg.Counters.CodeFlushes.Add(1)
+		}
 	}
 	t.Stats.SBTranslations++
 	t.Stats.SpecLoadsSched += uint64(st.Sched.SpecLoads)

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("darco_things_total", "Things seen.")
+	c.Add(3)
+	c.Inc()
+	g := r.Gauge("darco_depth", "Queue depth.")
+	g.Set(7)
+	v := r.GaugeVec("darco_jobs", "Jobs by state.", "state")
+	v.With("queued").Set(2)
+	v.With("running").Set(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP darco_things_total Things seen.\n",
+		"# TYPE darco_things_total counter\n",
+		"darco_things_total 4\n",
+		"# TYPE darco_depth gauge\n",
+		"darco_depth 7\n",
+		`darco_jobs{state="queued"} 2` + "\n",
+		`darco_jobs{state="running"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecSeriesOrderStable(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("darco_jobs", "Jobs by state.", "state")
+	states := []string{"queued", "running", "done", "failed"}
+	for _, s := range states {
+		v.With(s).Set(0)
+	}
+	var b1, b2 strings.Builder
+	if err := r.WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	v.With("running").Set(5) // touching a series must not reorder it
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	idx := func(out, state string) int { return strings.Index(out, `{state="`+state+`"}`) }
+	for i := 1; i < len(states); i++ {
+		if idx(b2.String(), states[i-1]) > idx(b2.String(), states[i]) {
+			t.Fatalf("series order changed:\n%s", b2.String())
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("darco_wait_seconds", "Queue wait.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE darco_wait_seconds histogram\n",
+		`darco_wait_seconds_bucket{le="0.1"} 1` + "\n",
+		`darco_wait_seconds_bucket{le="1"} 2` + "\n",
+		`darco_wait_seconds_bucket{le="10"} 2` + "\n",
+		`darco_wait_seconds_bucket{le="+Inf"} 3` + "\n",
+		"darco_wait_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	snap := h.Snapshot()
+	if snap.Count != 3 || math.Abs(snap.Sum-100.55) > 1e-9 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	h.Observe(2.0000001)
+	s := h.Snapshot()
+	if s.Counts[0] != 1 || s.Counts[1] != 0 || s.Counts[2] != 1 {
+		t.Fatalf("counts = %v", s.Counts)
+	}
+}
+
+func TestOnScrapeHook(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("darco_live", "Recomputed at scrape.")
+	n := 0
+	r.OnScrape(func() { n++; g.Set(float64(n)) })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "darco_live 2\n") {
+		t.Fatalf("hook did not run per scrape:\n%s", b.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("darco_w", "", "worker").With(`http://a"b\c`).Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `darco_w{worker="http://a\"b\\c"} 1` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("want %q in:\n%s", want, b.String())
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_name", "")
+	for name, fn := range map[string]func(){
+		"duplicate": func() { r.Counter("ok_name", "") },
+		"bad name":  func() { r.Counter("0bad", "") },
+		"bad label": func() { r.CounterVec("ok2", "", "0bad") },
+		"arity":     func() { r.GaugeVec("ok3", "", "a").With("x", "y").Set(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("darco_n_total", "")
+	h := r.Histogram("darco_h", "", ExpBuckets(0.001, 10, 4))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("histogram count = %d", s.Count)
+	}
+}
+
+func TestEngineCountersSnapshot(t *testing.T) {
+	var c EngineCounters
+	c.DecodeHits.Add(9)
+	c.DecodeMisses.Add(1)
+	c.BlockHits.Add(3)
+	c.BlockMisses.Add(1)
+	s := c.Snapshot()
+	if got := s.DecodeHitRate(); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("decode hit rate = %g", got)
+	}
+	if got := s.BlockHitRate(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("block hit rate = %g", got)
+	}
+	d := s.Sub(EngineCountersSnapshot{DecodeHits: 4})
+	if d.DecodeHits != 5 {
+		t.Fatalf("sub = %+v", d)
+	}
+}

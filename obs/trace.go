@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span is one timed operation in a trace: a job, a shard, a scenario,
+// or an execution phase. Spans form a tree through Parent; a federated
+// job's spans stitch across the coordinator and its workers because
+// they share TraceID — the coordinator propagates it on shard
+// submission through the TraceHeader.
+//
+// Times are UTC unix nanoseconds so spans journal as plain JSON and
+// compare across machines without timezone baggage.
+type Span struct {
+	TraceID string            `json:"trace_id"`
+	SpanID  string            `json:"span_id"`
+	Parent  string            `json:"parent_id,omitempty"`
+	Name    string            `json:"name"`
+	Service string            `json:"service,omitempty"` // emitting tier: "serve", "sched"
+	Start   int64             `json:"start_unix_ns"`
+	End     int64             `json:"end_unix_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// NewSpan builds a finished span over [start, end].
+func NewSpan(traceID, parent, name, service string, start, end time.Time) Span {
+	return Span{
+		TraceID: traceID,
+		SpanID:  NewSpanID(),
+		Parent:  parent,
+		Name:    name,
+		Service: service,
+		Start:   start.UnixNano(),
+		End:     end.UnixNano(),
+	}
+}
+
+// Duration is the span's length.
+func (s Span) Duration() time.Duration { return time.Duration(s.End - s.Start) }
+
+// SetAttr sets one attribute, allocating the map on first use.
+func (s *Span) SetAttr(k, v string) {
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string)
+	}
+	s.Attrs[k] = v
+}
+
+// NewTraceID returns a 32-hex-digit random trace identifier.
+func NewTraceID() string { return randHex(16) }
+
+// NewSpanID returns a 16-hex-digit random span identifier.
+func NewSpanID() string { return randHex(8) }
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		panic(fmt.Sprintf("obs: crypto/rand failed: %v", err)) // never on supported platforms
+	}
+	return hex.EncodeToString(b)
+}
+
+// TraceHeader carries trace context on HTTP requests between tiers as
+// "<trace-id>/<parent-span-id>": the sched coordinator injects it on
+// shard submissions so the worker's spans join the federated job's
+// trace instead of starting their own.
+const TraceHeader = "X-Darco-Trace"
+
+// InjectTrace stamps trace context onto an outgoing request's headers.
+func InjectTrace(h http.Header, traceID, parentSpanID string) {
+	if traceID == "" {
+		return
+	}
+	h.Set(TraceHeader, traceID+"/"+parentSpanID)
+}
+
+// ExtractTrace reads trace context from incoming headers. ok is false
+// when the header is absent or malformed (malformed context is dropped
+// rather than poisoning the job's trace with unparseable IDs).
+func ExtractTrace(h http.Header) (traceID, parentSpanID string, ok bool) {
+	v := h.Get(TraceHeader)
+	if v == "" {
+		return "", "", false
+	}
+	traceID, parentSpanID, _ = strings.Cut(v, "/")
+	if !isHexID(traceID) || (parentSpanID != "" && !isHexID(parentSpanID)) {
+		return "", "", false
+	}
+	return traceID, parentSpanID, true
+}
+
+func isHexID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// SpanNode is a span with its children resolved — one node of the
+// trace tree a daemon returns from GET /api/v1/jobs/{id}/trace.
+type SpanNode struct {
+	Span
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// BuildTree assembles spans into parent→child trees. Spans whose
+// parent is not present (the parent belongs to another tier that was
+// unreachable, or was never recorded because that tier crashed) become
+// roots — a partial trace renders rather than vanishing. Siblings are
+// ordered by start time, then name.
+func BuildTree(spans []Span) []*SpanNode {
+	nodes := make(map[string]*SpanNode, len(spans))
+	order := make([]*SpanNode, 0, len(spans))
+	for _, s := range spans {
+		if _, dup := nodes[s.SpanID]; dup {
+			continue // same span journaled and fetched — keep one
+		}
+		n := &SpanNode{Span: s}
+		nodes[s.SpanID] = n
+		order = append(order, n)
+	}
+	var roots []*SpanNode
+	for _, n := range order {
+		if p, ok := nodes[n.Parent]; ok && n.Parent != n.SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes(roots)
+	for _, n := range order {
+		sortNodes(n.Children)
+	}
+	return roots
+}
+
+func sortNodes(ns []*SpanNode) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Start != ns[j].Start {
+			return ns[i].Start < ns[j].Start
+		}
+		return ns[i].Name < ns[j].Name
+	})
+}
+
+// chromeEvent is one complete ("ph":"X") event of the Chrome
+// trace-event format, the JSON that chrome://tracing and Perfetto load
+// directly.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders spans as a Chrome trace-event JSON document
+// ({"traceEvents": [...]}) loadable in Perfetto. Each emitting service
+// maps to its own thread lane so coordinator and worker spans stack
+// separately; timestamps are absolute microseconds.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	tids := map[string]int{}
+	events := make([]chromeEvent, 0, len(spans))
+	sorted := append([]Span(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	for _, s := range sorted {
+		svc := s.Service
+		if svc == "" {
+			svc = "darco"
+		}
+		tid, ok := tids[svc]
+		if !ok {
+			tid = len(tids) + 1
+			tids[svc] = tid
+		}
+		args := make(map[string]string, len(s.Attrs)+2)
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		args["trace_id"] = s.TraceID
+		args["span_id"] = s.SpanID
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  svc,
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.End-s.Start) / 1e3,
+			Pid:  1,
+			Tid:  tid,
+			Args: args,
+		})
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// TraceDoc is the JSON document GET /api/v1/jobs/{id}/trace returns:
+// the flat span list (the canonical merge format — the coordinator
+// concatenates its own spans with each worker's) plus the resolved
+// tree for human eyes.
+type TraceDoc struct {
+	TraceID string      `json:"trace_id"`
+	Job     string      `json:"job"`
+	Spans   []Span      `json:"spans"`
+	Tree    []*SpanNode `json:"tree"`
+}

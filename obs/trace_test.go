@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceIDs(t *testing.T) {
+	tr, sp := NewTraceID(), NewSpanID()
+	if len(tr) != 32 || len(sp) != 16 {
+		t.Fatalf("id lengths: trace %d span %d", len(tr), len(sp))
+	}
+	if tr == NewTraceID() {
+		t.Fatal("trace ids collide")
+	}
+	if !isHexID(tr) || !isHexID(sp) {
+		t.Fatal("ids are not hex")
+	}
+}
+
+func TestInjectExtractRoundTrip(t *testing.T) {
+	h := http.Header{}
+	InjectTrace(h, "abc123", "def456")
+	tr, parent, ok := ExtractTrace(h)
+	if !ok || tr != "abc123" || parent != "def456" {
+		t.Fatalf("extract = %q %q %v", tr, parent, ok)
+	}
+
+	for _, bad := range []string{"", "nothex!/aa", "abc/zz!", strings.Repeat("a", 65) + "/bb"} {
+		h := http.Header{}
+		if bad != "" {
+			h.Set(TraceHeader, bad)
+		}
+		if _, _, ok := ExtractTrace(h); ok {
+			t.Errorf("extract accepted %q", bad)
+		}
+	}
+
+	// Empty parent is legal: a root submission carrying only a trace id.
+	h = http.Header{}
+	h.Set(TraceHeader, "abc123/")
+	if tr, parent, ok := ExtractTrace(h); !ok || tr != "abc123" || parent != "" {
+		t.Fatalf("rootless extract = %q %q %v", tr, parent, ok)
+	}
+}
+
+func TestBuildTree(t *testing.T) {
+	base := time.Now()
+	mk := func(id, parent, name string, off time.Duration) Span {
+		s := NewSpan("t1", parent, name, "serve", base.Add(off), base.Add(off+time.Second))
+		s.SpanID = id
+		return s
+	}
+	spans := []Span{
+		mk("job", "", "job", 0),
+		mk("s2", "job", "scenario-b", 2*time.Second),
+		mk("s1", "job", "scenario-a", 1*time.Second),
+		mk("p1", "s1", "emulate", 1*time.Second),
+		mk("orphan", "gone", "shard", 0),
+		mk("s1", "job", "dup", 1*time.Second), // duplicate id dropped
+	}
+	roots := BuildTree(spans)
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2 (job + orphan)", len(roots))
+	}
+	var job *SpanNode
+	for _, r := range roots {
+		if r.SpanID == "job" {
+			job = r
+		}
+	}
+	if job == nil || len(job.Children) != 2 {
+		t.Fatalf("job children = %+v", job)
+	}
+	if job.Children[0].Name != "scenario-a" || job.Children[1].Name != "scenario-b" {
+		t.Fatalf("children unsorted: %s, %s", job.Children[0].Name, job.Children[1].Name)
+	}
+	if len(job.Children[0].Children) != 1 || job.Children[0].Children[0].Name != "emulate" {
+		t.Fatalf("grandchildren wrong: %+v", job.Children[0].Children)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	base := time.Unix(1000, 0)
+	spans := []Span{
+		NewSpan("t1", "", "job", "sched", base, base.Add(4*time.Second)),
+		NewSpan("t1", "", "scenario", "serve", base.Add(time.Second), base.Add(2*time.Second)),
+	}
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Ph != "X" || ev.Name != "job" || ev.Dur != 4e6 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if doc.TraceEvents[0].Tid == doc.TraceEvents[1].Tid {
+		t.Fatal("distinct services share a tid lane")
+	}
+	if ev.Args["trace_id"] != "t1" {
+		t.Fatalf("args = %v", ev.Args)
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	s := NewSpan("t1", "p1", "shard-0", "sched", time.Unix(5, 0), time.Unix(6, 0))
+	s.SetAttr("worker", "http://a:1")
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Span
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != "t1" || got.Parent != "p1" || got.Attrs["worker"] != "http://a:1" {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Duration() != time.Second {
+		t.Fatalf("duration = %s", got.Duration())
+	}
+}

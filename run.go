@@ -10,6 +10,7 @@ import (
 	"darco/internal/power"
 	"darco/internal/timing"
 	"darco/internal/tol"
+	"darco/obs"
 )
 
 // Config configures one DARCO run. The timing and power simulators are
@@ -100,6 +101,26 @@ type Result struct {
 	Validations   uint64
 	PageTransfers uint64
 	SyscallSyncs  uint64
+
+	// Obs is a snapshot of the engine's profiling counters at the time
+	// of this result; nil unless WithObsCounters attached them. When the
+	// counters instance is shared (the serve daemon attaches one per
+	// process), the snapshot is cumulative across everything it covers,
+	// not per-session.
+	Obs *obs.EngineCountersSnapshot
+
+	// Phases splits the session wall time: Emulate is the time inside
+	// the controller's run loop, TimingDrain the time Step spent
+	// waiting for the timing pipeline to drain on exit. The serve tier
+	// turns these into per-scenario phase spans.
+	Phases PhaseTimings
+}
+
+// PhaseTimings is a session's wall-time attribution across execution
+// phases.
+type PhaseTimings struct {
+	Emulate     time.Duration `json:"emulate,omitempty"`
+	TimingDrain time.Duration `json:"timing_drain,omitempty"`
 }
 
 // Run executes the guest image on the full DARCO stack.

@@ -10,6 +10,7 @@ import (
 	darco "darco"
 	"darco/export"
 	"darco/internal/stream"
+	"darco/obs"
 	"darco/serve"
 	"darco/store"
 )
@@ -73,7 +74,8 @@ func (c *Coordinator) restoreJobs() []*job {
 				c.compact(j.id)
 				sealRestored(j, h)
 				restored++
-				c.logf("sched: %s cancelled while queued before the restart", j.id)
+				c.log.Info("restored job cancelled while queued before the restart",
+					"job_id", j.id, "trace_id", j.traceID)
 				continue
 			}
 			j, err := c.rebuildJob(h)
@@ -96,10 +98,12 @@ func (c *Coordinator) restoreJobs() []*job {
 			c.jobs.restore(j)
 			requeue = append(requeue, j)
 			c.recov.requeuedJobs.Add(1)
-			c.logf("sched: %s re-queued after restart (%d scenarios)", j.id, len(j.roster))
+			c.log.Info("job re-queued after restart", "job_id", j.id, "trace_id", j.traceID,
+				"scenarios", len(j.roster))
 		case string(serve.JobRunning):
 			if clean {
-				c.logf("sched: %s was journaled running despite a clean-shutdown marker; resuming it anyway", h.ID)
+				c.log.Warn("job journaled running despite a clean-shutdown marker; resuming it anyway",
+					"job_id", h.ID)
 			}
 			j, err := c.rebuildJob(h)
 			if err != nil {
@@ -121,8 +125,9 @@ func (c *Coordinator) restoreJobs() []*job {
 			c.jobs.restore(j)
 			requeue = append(requeue, j)
 			c.recov.resumedJobs.Add(1)
-			c.logf("sched: %s resuming mid-run: %d of %d rows already journaled, %d/%d shards terminal",
-				j.id, len(h.Rows), h.Scenarios, len(h.ShardsDone), len(h.ShardPlan))
+			c.log.Info("job resuming mid-run", "job_id", j.id, "trace_id", j.traceID,
+				"rows_journaled", len(h.Rows), "scenarios", h.Scenarios,
+				"shards_terminal", len(h.ShardsDone), "shards", len(h.ShardPlan))
 		default:
 			var jerr error
 			if h.Error != "" {
@@ -136,8 +141,9 @@ func (c *Coordinator) restoreJobs() []*job {
 			restored++
 		}
 	}
-	c.logf("sched: recovery: %s; %d restored terminal, %d re-queued, %d resumed (clean shutdown: %v)",
-		rec, restored, c.recov.requeuedJobs.Load(), c.recov.resumedJobs.Load(), clean)
+	c.log.Info("recovery complete", "store", rec.String(),
+		"restored_terminal", restored, "requeued", c.recov.requeuedJobs.Load(),
+		"resumed", c.recov.resumedJobs.Load(), "clean_shutdown", clean)
 	return requeue
 }
 
@@ -160,6 +166,16 @@ func (c *Coordinator) rebuildJob(h *store.JobHistory) (*job, error) {
 	j.raw = h.Request
 	j.submitted = h.SubmittedAt
 	j.journal = c.journal
+	// Re-adopt the journaled trace identity (fresh for pre-trace
+	// histories) with a fresh root-span id: pre-crash spans referencing
+	// the old root come back as orphans, which BuildTree renders as
+	// additional roots — the partial trace, never a lost one.
+	j.traceID, j.parentSpan = h.TraceID, h.ParentSpan
+	if j.traceID == "" {
+		j.traceID = obs.NewTraceID()
+	}
+	j.rootSpan = obs.NewSpanID()
+	j.spans = append([]obs.Span(nil), h.Spans...)
 	return j, nil
 }
 
@@ -192,6 +208,11 @@ func (c *Coordinator) resumeJob(j *job, h *store.JobHistory) {
 		if pl, ok := h.Placements[si]; ok {
 			sh.attempts = pl.Attempt
 			sh.workerURL, sh.workerJob = pl.Worker, pl.WorkerJob
+			// The journaled span id keeps the re-adopted shard (and the
+			// worker-side job spans already parented under it) attached
+			// to the same subtree of the federated trace.
+			sh.span = pl.Span
+			j.notePlacement(pl.Worker, pl.WorkerJob)
 			if _, done := h.ShardsDone[si]; !done {
 				lease := pl
 				sh.adopt = &lease
@@ -226,27 +247,35 @@ func (c *Coordinator) restoreTerminalJob(h *store.JobHistory, state serve.JobSta
 		shardCount = h.Parallelism
 	}
 	j := &job{
-		id:        h.ID,
-		name:      h.Name,
-		roster:    roster,
-		raw:       h.Request,
-		state:     state,
-		err:       jerr,
-		completed: completed,
-		failed:    failed,
-		submitted: h.SubmittedAt,
-		started:   h.StartedAt,
-		finished:  h.FinishedAt,
-		gathered:  make([]bool, h.Scenarios),
-		rows:      rows,
-		wallMS:    h.WallMS,
-		ready:     true,
-		shards:    make([]*shard, shardCount),
-		events:    stream.NewBroadcaster(c.opts.ReplayBuffer),
-		journal:   c.journal,
+		id:         h.ID,
+		name:       h.Name,
+		roster:     roster,
+		raw:        h.Request,
+		traceID:    h.TraceID,
+		parentSpan: h.ParentSpan,
+		spans:      append([]obs.Span(nil), h.Spans...),
+		state:      state,
+		err:        jerr,
+		completed:  completed,
+		failed:     failed,
+		submitted:  h.SubmittedAt,
+		started:    h.StartedAt,
+		finished:   h.FinishedAt,
+		gathered:   make([]bool, h.Scenarios),
+		rows:       rows,
+		wallMS:     h.WallMS,
+		ready:      true,
+		shards:     make([]*shard, shardCount),
+		events:     stream.NewBroadcaster(c.opts.ReplayBuffer),
+		journal:    c.journal,
 	}
 	for i := range j.shards {
 		j.shards[i] = &shard{idx: i}
+	}
+	// Journaled placements let the trace endpoint fetch worker-side
+	// spans even for a job restored terminal.
+	for _, pl := range h.Placements {
+		j.notePlacement(pl.Worker, pl.WorkerJob)
 	}
 	if j.finished.IsZero() {
 		j.finished = time.Now()

@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"darco/internal/testutil"
 	"darco/sched"
 	"darco/serve"
 	"darco/store"
@@ -65,8 +66,8 @@ func startCrashable(t *testing.T, opts sched.Options) (*sched.Coordinator, *http
 	if opts.RetryBaseDelay == 0 {
 		opts.RetryBaseDelay = 20 * time.Millisecond
 	}
-	if opts.Logf == nil {
-		opts.Logf = t.Logf
+	if opts.Log == nil {
+		opts.Log = testutil.Slogger(t)
 	}
 	c, err := sched.New(opts)
 	if err != nil {

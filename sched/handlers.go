@@ -12,6 +12,7 @@ import (
 	darco "darco"
 	"darco/export"
 	"darco/internal/stream"
+	"darco/obs"
 	"darco/serve"
 	"darco/store"
 )
@@ -45,6 +46,7 @@ func (c *Coordinator) routes() *http.ServeMux {
 	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", c.handleCancel)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", c.handleCancel)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", c.handleEvents)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", c.handleTrace)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/export.json", c.handleExport("json"))
 	mux.HandleFunc("GET /api/v1/jobs/{id}/export.csv", c.handleExport("csv"))
 	mux.HandleFunc("GET /api/v1/jobs/{id}/export.ndjson", c.handleExport("ndjson"))
@@ -114,6 +116,13 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j := newJob(req, roster, c.baseCtx, c.opts.ReplayBuffer)
 	j.raw = raw
 	j.journal = c.journal
+	// Adopt the caller's trace context (another coordinator, a CI
+	// harness) or start a fresh federated trace here at the edge.
+	traceID, parentSpan, ok := obs.ExtractTrace(r.Header)
+	if !ok {
+		traceID = obs.NewTraceID()
+	}
+	j.traceID, j.parentSpan, j.rootSpan = traceID, parentSpan, obs.NewSpanID()
 	c.jobs.add(j)
 	if err := c.enqueue(j); err != nil {
 		j.cancel()
@@ -125,7 +134,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	c.logf("sched: %s accepted: %d scenarios", j.id, len(roster))
+	c.log.Info("job accepted", "job_id", j.id, "trace_id", j.traceID, "scenarios", len(roster))
 	w.Header().Set("Location", "/api/v1/jobs/"+j.id)
 	writeJSON(w, http.StatusAccepted, j.status())
 }
@@ -208,7 +217,7 @@ func (c *Coordinator) handleExport(format string) http.HandlerFunc {
 			return
 		}
 		if err := serve.WriteExport(w, r, format, rows, wallMS, shards); err != nil {
-			c.logf("sched: export %s for %s: %v", format, j.id, err)
+			c.log.Error("export write failed", "format", format, "job_id", j.id, "err", err)
 		}
 	}
 }
@@ -260,7 +269,7 @@ func (c *Coordinator) handleRegisterWorker(w http.ResponseWriter, r *http.Reques
 	}
 	c.probe(c.baseCtx, wk)
 	if fresh {
-		c.logf("sched: worker %s registered", wk.url)
+		c.log.Info("worker registered", "worker", wk.url)
 		writeJSON(w, http.StatusCreated, wk.info())
 		return
 	}
@@ -277,7 +286,7 @@ func (c *Coordinator) handleDeregisterWorker(w http.ResponseWriter, r *http.Requ
 		writeError(w, http.StatusNotFound, "no such worker %q", key)
 		return
 	}
-	c.logf("sched: worker %s deregistered", wk.url)
+	c.log.Info("worker deregistered", "worker", wk.url)
 	writeJSON(w, http.StatusOK, wk.info())
 }
 
@@ -310,78 +319,12 @@ func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics serves a Prometheus-style exposition of the fleet:
-// federated jobs by state (including degraded), queue pressure, and
-// per-worker placement/gather/retry/rejection counters keyed by worker
-// URL.
+// handleMetrics serves the coordinator's registry: federated jobs by
+// state (including degraded), queue pressure, recovery counters,
+// per-worker placement/gather/retry/rejection series keyed by worker
+// URL, and the scheduling-latency histograms. State and per-worker
+// families recompute on scrape (see metrics.go).
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	states := []serve.JobState{
-		serve.JobQueued, serve.JobRunning, serve.JobDone,
-		serve.JobFailed, serve.JobCancelled, JobDegraded,
-	}
-	byState := make(map[serve.JobState]int, len(states))
-	var scenarios, completed, failed, subscribers int
-	jobs := c.jobs.list()
-	for _, j := range jobs {
-		st := j.status()
-		byState[st.State]++
-		scenarios += st.Scenarios
-		completed += st.Completed
-		failed += st.Failed
-		subscribers += j.events.SubscriberCount()
-	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprintf(w, "# HELP darco_sched_jobs Federated jobs by lifecycle state.\n# TYPE darco_sched_jobs gauge\n")
-	for _, st := range states {
-		fmt.Fprintf(w, "darco_sched_jobs{state=%q} %d\n", st, byState[st])
-	}
-	fmt.Fprintf(w, "# HELP darco_sched_jobs_total Federated jobs ever accepted.\n# TYPE darco_sched_jobs_total counter\ndarco_sched_jobs_total %d\n", len(jobs))
-	fmt.Fprintf(w, "# HELP darco_sched_scenarios_total Scenarios enrolled across all federated jobs.\n# TYPE darco_sched_scenarios_total counter\ndarco_sched_scenarios_total %d\n", scenarios)
-	fmt.Fprintf(w, "# HELP darco_sched_scenarios_completed_total Scenario rows merged.\n# TYPE darco_sched_scenarios_completed_total counter\ndarco_sched_scenarios_completed_total %d\n", completed)
-	fmt.Fprintf(w, "# HELP darco_sched_scenarios_failed_total Merged rows carrying an error.\n# TYPE darco_sched_scenarios_failed_total counter\ndarco_sched_scenarios_failed_total %d\n", failed)
-	fmt.Fprintf(w, "# HELP darco_sched_event_subscribers Open federated event-stream subscriptions.\n# TYPE darco_sched_event_subscribers gauge\ndarco_sched_event_subscribers %d\n", subscribers)
-	fmt.Fprintf(w, "# HELP darco_sched_queue_depth Federated jobs waiting for a runner.\n# TYPE darco_sched_queue_depth gauge\ndarco_sched_queue_depth %d\n", len(c.queue))
-	fmt.Fprintf(w, "# HELP darco_sched_queue_capacity Federated job queue capacity.\n# TYPE darco_sched_queue_capacity gauge\ndarco_sched_queue_capacity %d\n", c.opts.QueueCapacity)
-	fmt.Fprintf(w, "# HELP darco_sched_uptime_seconds Coordinator uptime.\n# TYPE darco_sched_uptime_seconds gauge\ndarco_sched_uptime_seconds %g\n", time.Since(c.start).Seconds())
-
-	fmt.Fprintf(w, "# HELP darco_sched_recovery_resumed_jobs Mid-run federated jobs resumed by the last restart.\n# TYPE darco_sched_recovery_resumed_jobs counter\ndarco_sched_recovery_resumed_jobs %d\n", c.recov.resumedJobs.Load())
-	fmt.Fprintf(w, "# HELP darco_sched_recovery_requeued_jobs Queued federated jobs re-queued by the last restart.\n# TYPE darco_sched_recovery_requeued_jobs counter\ndarco_sched_recovery_requeued_jobs %d\n", c.recov.requeuedJobs.Load())
-	fmt.Fprintf(w, "# HELP darco_sched_recovery_readopted_shards Worker-side shard jobs re-adopted instead of re-dispatched.\n# TYPE darco_sched_recovery_readopted_shards counter\ndarco_sched_recovery_readopted_shards %d\n", c.recov.readoptedShards.Load())
-	fmt.Fprintf(w, "# HELP darco_sched_recovery_backfilled_rows Scenario rows recovered through shard re-adoption.\n# TYPE darco_sched_recovery_backfilled_rows counter\ndarco_sched_recovery_backfilled_rows %d\n", c.recov.backfilledRows.Load())
-	fmt.Fprintf(w, "# HELP darco_sched_recovery_redispatched_shards Restored shards whose placement lease was dead and fell back to re-dispatch.\n# TYPE darco_sched_recovery_redispatched_shards counter\ndarco_sched_recovery_redispatched_shards %d\n", c.recov.redispatched.Load())
-	fmt.Fprintf(w, "# HELP darco_sched_recovery_salvage_discarded_bytes Journal bytes dropped by corruption salvage at the last open.\n# TYPE darco_sched_recovery_salvage_discarded_bytes counter\ndarco_sched_recovery_salvage_discarded_bytes %d\n", c.recov.salvageDiscarded.Load())
-
-	fmt.Fprintf(w, "# HELP darco_sched_worker_up Worker health from the last probe.\n# TYPE darco_sched_worker_up gauge\n")
-	workers := c.pool.list()
-	infos := make([]WorkerInfo, 0, len(workers))
-	for _, wk := range workers {
-		infos = append(infos, wk.info())
-	}
-	for _, wi := range infos {
-		up := 0
-		if wi.Healthy {
-			up = 1
-		}
-		fmt.Fprintf(w, "darco_sched_worker_up{worker=%q} %d\n", wi.URL, up)
-	}
-	fmt.Fprintf(w, "# HELP darco_sched_worker_active_shards Shards currently placed on the worker.\n# TYPE darco_sched_worker_active_shards gauge\n")
-	for _, wi := range infos {
-		fmt.Fprintf(w, "darco_sched_worker_active_shards{worker=%q} %d\n", wi.URL, wi.ActiveShards)
-	}
-	fmt.Fprintf(w, "# HELP darco_sched_worker_shards_placed_total Shard submissions the worker accepted.\n# TYPE darco_sched_worker_shards_placed_total counter\n")
-	for _, wi := range infos {
-		fmt.Fprintf(w, "darco_sched_worker_shards_placed_total{worker=%q} %d\n", wi.URL, wi.ShardsPlaced)
-	}
-	fmt.Fprintf(w, "# HELP darco_sched_worker_rows_gathered_total Scenario rows gathered from the worker.\n# TYPE darco_sched_worker_rows_gathered_total counter\n")
-	for _, wi := range infos {
-		fmt.Fprintf(w, "darco_sched_worker_rows_gathered_total{worker=%q} %d\n", wi.URL, wi.RowsGathered)
-	}
-	fmt.Fprintf(w, "# HELP darco_sched_worker_retries_total Failed shard attempts on the worker.\n# TYPE darco_sched_worker_retries_total counter\n")
-	for _, wi := range infos {
-		fmt.Fprintf(w, "darco_sched_worker_retries_total{worker=%q} %d\n", wi.URL, wi.Retries)
-	}
-	fmt.Fprintf(w, "# HELP darco_sched_worker_rejections_total Shard submissions the worker bounced with 429.\n# TYPE darco_sched_worker_rejections_total counter\n")
-	for _, wi := range infos {
-		fmt.Fprintf(w, "darco_sched_worker_rejections_total{worker=%q} %d\n", wi.URL, wi.Rejections)
-	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	c.metrics.reg.WritePrometheus(w)
 }

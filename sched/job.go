@@ -11,6 +11,7 @@ import (
 	darco "darco"
 	"darco/export"
 	"darco/internal/stream"
+	"darco/obs"
 	"darco/serve"
 	"darco/store"
 )
@@ -45,6 +46,16 @@ type job struct {
 	// validator after a restart.
 	raw []byte
 
+	// Trace identity, immutable after accept/restore: the federated
+	// trace every coordinator and worker span of this campaign belongs
+	// to (adopted from the X-Darco-Trace header when an upstream
+	// submitted it, otherwise freshly generated), the upstream parent
+	// span, and the id of the job's own root span — fixed up front so
+	// child spans can reference it before the root records at finish.
+	traceID    string
+	parentSpan string
+	rootSpan   string
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	events *stream.Broadcaster
@@ -74,6 +85,14 @@ type job struct {
 	// coordinator's own shutdown cancelling the context: only the
 	// former is a durable fact about the job.
 	cancelRequested bool
+
+	// runSpan is the id of the current run span, set at runner pickup;
+	// spans are the coordinator's recorded (finished) spans; placements
+	// index every worker-side job this campaign ever placed, for trace
+	// stitching.
+	runSpan    string
+	spans      []obs.Span
+	placements map[string]placementRef
 
 	// gathered marks global scenario indices whose row is committed;
 	// rows is the scenario-order result the sequencer flushes into.

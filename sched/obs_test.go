@@ -1,0 +1,142 @@
+package sched_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"darco/internal/testutil"
+	"darco/obs"
+	"darco/sched"
+	"darco/serve"
+)
+
+// fetchTrace GETs a job's trace document.
+func fetchTrace(t *testing.T, base, id string) obs.TraceDoc {
+	t.Helper()
+	var doc obs.TraceDoc
+	raw := fetch(t, base+"/api/v1/jobs/"+id+"/trace", http.StatusOK, "application/json")
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace decode: %v", err)
+	}
+	return doc
+}
+
+// checkStitched asserts a federated trace is one stitched tree: every
+// span (coordinator's and both workers') carries the same trace id,
+// each worker contributed spans, and each worker's job root is parented
+// under a coordinator shard span so the whole thing resolves to a
+// single root.
+func checkStitched(t *testing.T, doc obs.TraceDoc, workerIDs []string) {
+	t.Helper()
+	services := map[string]int{}
+	shardSpans := map[string]bool{}
+	for _, sp := range doc.Spans {
+		if sp.TraceID != doc.TraceID {
+			t.Errorf("span %s (service %s) carries trace %s, want %s", sp.Name, sp.Service, sp.TraceID, doc.TraceID)
+		}
+		services[sp.Service]++
+		if strings.HasPrefix(sp.Name, "shard ") {
+			shardSpans[sp.SpanID] = true
+		}
+	}
+	for _, w := range workerIDs {
+		if services[w] == 0 {
+			t.Errorf("no spans from worker %s in federated trace (services: %v)", w, services)
+		}
+	}
+	if len(shardSpans) < 2 {
+		t.Errorf("trace has %d shard spans, want >= 2", len(shardSpans))
+	}
+	stitched := 0
+	for _, sp := range doc.Spans {
+		if strings.HasPrefix(sp.Name, "job job-") && shardSpans[sp.Parent] {
+			stitched++
+		}
+	}
+	if stitched < 2 {
+		t.Errorf("%d worker job spans parent under shard spans, want >= 2", stitched)
+	}
+	if len(doc.Tree) != 1 {
+		names := make([]string, 0, len(doc.Tree))
+		for _, n := range doc.Tree {
+			names = append(names, n.Service+"/"+n.Name)
+		}
+		t.Errorf("trace resolves to %d roots %v, want 1 stitched tree", len(doc.Tree), names)
+	}
+}
+
+// TestFederatedTraceStitchedAcrossRestart is the observability
+// acceptance drill: a two-worker federated campaign yields one trace
+// whose coordinator and worker spans share a trace id, and the trace is
+// still retrievable — and still stitched — from a fresh coordinator
+// restarted over the same store.
+func TestFederatedTraceStitchedAcrossRestart(t *testing.T) {
+	workerIDs := []string{"trace-w1", "trace-w2"}
+	var urls []string
+	for _, id := range workerIDs {
+		_, ts := newWorker(t, serve.Options{Workers: 2, QueueCapacity: 8, WorkerID: id})
+		urls = append(urls, ts.URL)
+	}
+	dir := t.TempDir()
+
+	st1, closeSt1 := openStore(t, dir)
+	c1, ts1 := startCrashable(t, sched.Options{Workers: urls, Store: st1})
+	body := `{"name":"traced","parallelism":1,"scenarios":[` +
+		`{"profile":"429.mcf","scale":0.1},{"profile":"470.lbm","scale":0.1},` +
+		`{"profile":"429.mcf","scale":0.1},{"profile":"470.lbm","scale":0.1}]}`
+	job := submit(t, ts1.URL, body, http.StatusAccepted)
+	final := waitState(t, ts1.URL, job.ID, func(s serve.JobStatus) bool { return s.State.Terminal() || s.State == sched.JobDegraded })
+	if final.State != serve.JobDone {
+		t.Fatalf("federated job ended %s (%s)", final.State, final.Error)
+	}
+
+	before := fetchTrace(t, ts1.URL, job.ID)
+	checkStitched(t, before, workerIDs)
+
+	// Kill the coordinator and restart over the same store. The trace
+	// identity and the coordinator's own spans come back from the
+	// journal; the worker spans are re-fetched live through the
+	// placements the history preserves.
+	c1.Halt()
+	ts1.Close()
+	closeSt1()
+	st2, _ := openStore(t, dir)
+	_, coord := newCoordinator(t, sched.Options{Workers: urls, Store: st2})
+
+	after := fetchTrace(t, coord.URL, job.ID)
+	if after.TraceID != before.TraceID {
+		t.Fatalf("trace id changed across restart: %s -> %s", before.TraceID, after.TraceID)
+	}
+	checkStitched(t, after, workerIDs)
+
+	// The Chrome rendering of the recovered trace carries every span.
+	chrome := fetch(t, coord.URL+"/api/v1/jobs/"+job.ID+"/trace?format=chrome", http.StatusOK, "application/json")
+	var cd struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &cd); err != nil {
+		t.Fatal(err)
+	}
+	if len(cd.TraceEvents) != len(after.Spans) {
+		t.Errorf("chrome trace has %d events, want %d", len(cd.TraceEvents), len(after.Spans))
+	}
+
+	// And the restarted coordinator's exposition is well-formed.
+	raw := fetch(t, coord.URL+"/metrics", http.StatusOK, "")
+	if err := testutil.ValidatePrometheus(raw); err != nil {
+		t.Fatalf("/metrics exposition invalid: %v\n%s", err, raw)
+	}
+	for _, want := range []string{
+		"darco_sched_jobs{state=\"done\"} 1",
+		"darco_build_info{version=",
+		"darco_sched_shard_placement_attempts_bucket{le=\"+Inf\"}",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

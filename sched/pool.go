@@ -289,7 +289,7 @@ func (c *Coordinator) probe(ctx context.Context, w *worker) bool {
 	w.depth = h.QueueDepth
 	w.mu.Unlock()
 	if !wasHealthy {
-		c.logf("sched: worker %s healthy (id %s, version %s)", w.url, h.WorkerID, h.Version)
+		c.log.Info("worker healthy", "worker", w.url, "worker_id", h.WorkerID, "version", h.Version)
 	}
 	return true
 }

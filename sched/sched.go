@@ -11,6 +11,7 @@
 //	GET    /api/v1/jobs/{id}           one job's JobStatus
 //	POST   /api/v1/jobs/{id}/cancel    stop a job (also DELETE /api/v1/jobs/{id})
 //	GET    /api/v1/jobs/{id}/events    re-multiplexed live stream: SSE, or NDJSON with ?format=ndjson
+//	GET    /api/v1/jobs/{id}/trace     stitched federated trace (coordinator + worker spans); ?format=chrome for Perfetto
 //	GET    /api/v1/jobs/{id}/export.json|csv|ndjson|html
 //	                                   merged results, same renderer as a worker
 //	GET    /api/v1/workers             the worker pool with health and placement counters
@@ -55,7 +56,7 @@ package sched
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"sync"
@@ -64,6 +65,7 @@ import (
 
 	darco "darco"
 	"darco/export"
+	"darco/obs"
 	"darco/serve"
 	"darco/store"
 )
@@ -126,8 +128,13 @@ type Options struct {
 	// requests (tests). Event streams always use a timeout-free copy.
 	Client *http.Client
 
-	// Logf receives operational log lines (default log.Printf).
-	Logf func(format string, args ...any)
+	// Log receives structured operational log records (nil = discard).
+	Log *slog.Logger
+
+	// StoreMetrics, when non-nil, are the latency histograms the
+	// caller's durable store reports into; the coordinator exposes them
+	// on /metrics as darco_store_append_seconds / darco_store_fsync_seconds.
+	StoreMetrics *store.Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -152,9 +159,6 @@ func (o Options) withDefaults() Options {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 15 * time.Second
 	}
-	if o.Logf == nil {
-		o.Logf = log.Printf
-	}
 	return o
 }
 
@@ -162,12 +166,14 @@ func (o Options) withDefaults() Options {
 // shard runners, and worker pool behind it. Create with New, serve it
 // with any net/http server, stop it with Shutdown.
 type Coordinator struct {
-	opts  Options
-	mux   *http.ServeMux
-	jobs  *registry
-	pool  *pool
-	start time.Time
-	id    string // coordinator instance id for /healthz
+	opts    Options
+	mux     *http.ServeMux
+	jobs    *registry
+	pool    *pool
+	start   time.Time
+	id      string // coordinator instance id for /healthz and trace spans
+	log     *slog.Logger
+	metrics *schedMetrics
 
 	client       *http.Client // control plane; per-request timeouts via context
 	streamClient *http.Client // event streams; no overall timeout
@@ -218,6 +224,10 @@ func New(opts Options) (*Coordinator, error) {
 		host = "darco-sched"
 	}
 	c.id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	c.log = c.opts.Log
+	if c.log == nil {
+		c.log = slog.New(slog.DiscardHandler)
+	}
 	c.client = c.opts.Client
 	if c.client == nil {
 		c.client = &http.Client{}
@@ -231,6 +241,7 @@ func New(opts Options) (*Coordinator, error) {
 		}
 	}
 	c.baseCtx, c.stop = context.WithCancel(context.Background())
+	c.initMetrics()
 	// Restore before the runners start: recovered jobs enter the queue
 	// first, and the queue widens past the configured capacity if the
 	// journal holds more live jobs than it (none may be dropped).
@@ -319,10 +330,6 @@ func (c *Coordinator) Halt() {
 	c.wg.Wait()
 }
 
-func (c *Coordinator) logf(format string, args ...any) {
-	c.opts.Logf(format, args...)
-}
-
 // journal appends one record to the durable store, if there is one.
 // Journal failures never fail the job — the coordinator keeps serving
 // from memory and the operator sees the log line. A halted (crashing)
@@ -335,7 +342,7 @@ func (c *Coordinator) journal(rec store.Record) {
 		rec.Time = time.Now()
 	}
 	if err := c.opts.Store.Append(rec); err != nil {
-		c.logf("sched: journal %s for %s: %v", rec.Kind, rec.Job, err)
+		c.log.Error("journal append failed", "kind", string(rec.Kind), "job_id", rec.Job, "err", err)
 	}
 }
 
@@ -345,7 +352,7 @@ func (c *Coordinator) compact(id string) {
 		return
 	}
 	if err := c.opts.Store.CompactJob(id); err != nil {
-		c.logf("sched: compact %s: %v", id, err)
+		c.log.Error("snapshot compaction failed", "job_id", id, "err", err)
 	}
 }
 
@@ -386,7 +393,8 @@ func (c *Coordinator) enqueue(j *job) error {
 		return errQueueFull
 	}
 	c.journal(store.Record{Kind: store.KindSubmitted, Job: j.id, Time: j.submitted,
-		Submitted: &store.SubmittedRecord{Name: j.name, Scenarios: len(j.roster), Request: j.raw}})
+		Submitted: &store.SubmittedRecord{Name: j.name, Scenarios: len(j.roster), Request: j.raw,
+			TraceID: j.traceID, ParentSpan: j.parentSpan}})
 	c.queue <- j
 	return nil
 }
@@ -419,6 +427,7 @@ func (c *Coordinator) runJob(j *job) {
 		// outcome.
 		if j.markCancelled(fmt.Errorf("cancelled while queued: %w", err)) {
 			c.sealJob(j, j.allIndices())
+			c.finishSpans(j)
 			j.events.PublishTransient(serve.EventState, c.finishJob(j))
 		}
 		j.events.Close()
@@ -430,13 +439,20 @@ func (c *Coordinator) runJob(j *job) {
 	if !j.resumed {
 		j.started = time.Now()
 	}
+	j.runSpan = obs.NewSpanID()
 	started := j.started
+	submitted := j.submitted
+	resumed := j.resumed
 	j.mu.Unlock()
 	j.events.PublishTransient(serve.EventState, j.status())
+	if !resumed {
+		c.metrics.queueWait.Observe(started.Sub(submitted).Seconds())
+		c.startSpans(j, started)
+	}
 
 	if j.resumed {
-		c.logf("sched: %s resumed: %d scenarios in %d shards, %d rows already gathered",
-			j.id, len(j.roster), len(j.shards), j.status().Completed)
+		c.log.Info("job resumed", "job_id", j.id, "trace_id", j.traceID,
+			"scenarios", len(j.roster), "shards", len(j.shards), "rows_recovered", j.status().Completed)
 	} else {
 		c.journal(store.Record{Kind: store.KindStarted, Job: j.id, Time: started})
 		// Plan one shard per healthy worker (capped), so a fully-live
@@ -458,8 +474,8 @@ func (c *Coordinator) runJob(j *job) {
 		}
 		c.journal(store.Record{Kind: store.KindShardPlan, Job: j.id,
 			ShardPlan: &store.ShardPlanRecord{Shards: specs}})
-		c.logf("sched: %s running: %d scenarios in %d shards over %d healthy workers",
-			j.id, len(j.roster), len(j.shards), healthy)
+		c.log.Info("job running", "job_id", j.id, "trace_id", j.traceID,
+			"scenarios", len(j.roster), "shards", len(j.shards), "healthy_workers", healthy)
 	}
 
 	shardErrs := make([]error, len(j.shards))
@@ -468,7 +484,9 @@ func (c *Coordinator) runJob(j *job) {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
+			shardStart := time.Now()
 			shardErrs[i] = c.runShard(j, sh)
+			c.shardSpan(j, sh, shardStart, time.Now(), shardErrs[i])
 		}(i, sh)
 	}
 	wg.Wait()
@@ -510,8 +528,10 @@ func (c *Coordinator) runJob(j *job) {
 	j.mu.Unlock()
 
 	c.sealJob(j, missing)
+	c.finishSpans(j)
 	st := c.finishJob(j)
-	c.logf("sched: %s %s: %d/%d scenarios, %d failed", j.id, st.State, st.Completed, st.Scenarios, st.Failed)
+	c.log.Info("job finished", "job_id", j.id, "trace_id", j.traceID, "state", string(st.State),
+		"completed", st.Completed, "scenarios", st.Scenarios, "failed", st.Failed)
 	j.events.PublishTransient(serve.EventState, st)
 	j.events.Close()
 }
@@ -537,7 +557,7 @@ func (c *Coordinator) sealJob(j *job, missing []int) {
 	if err := j.seq.Close(); err != nil {
 		// Unreachable by construction (missing covered every gap), but
 		// a hole must not produce a silently-short export.
-		c.logf("sched: %s: sealing merged rows: %v", j.id, err)
+		c.log.Error("sealing merged rows failed", "job_id", j.id, "err", err)
 	}
 	if !j.started.IsZero() {
 		j.wallMS = float64(j.finished.Sub(j.started).Nanoseconds()) / 1e6

@@ -64,8 +64,8 @@ func newCoordinator(t *testing.T, opts sched.Options) (*sched.Coordinator, *http
 	if opts.RetryBaseDelay == 0 {
 		opts.RetryBaseDelay = 20 * time.Millisecond
 	}
-	if opts.Logf == nil {
-		opts.Logf = t.Logf
+	if opts.Log == nil {
+		opts.Log = testutil.Slogger(t)
 	}
 	c, err := sched.New(opts)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"darco/export"
+	"darco/obs"
 	"darco/serve"
 	"darco/store"
 )
@@ -28,6 +29,13 @@ type shard struct {
 	// re-attach to before any fresh dispatch; consumed (nilled) after
 	// one attempt.
 	adopt *store.ShardPlacedRecord
+
+	// span is the shard's trace span id: generated (or restored from
+	// the placement lease) before the first attempt, injected into
+	// every worker submission's X-Darco-Trace header so the worker-side
+	// job's spans parent under it. Written only by the shard's own
+	// goroutine (or pre-concurrency during resume).
+	span string
 
 	mu        sync.Mutex
 	workerURL string // current/most recent placement
@@ -140,7 +148,14 @@ func (c *Coordinator) shardBody(j *job, sh *shard, missing []int, attempt int) (
 // gathered) reset the failure budget, so a shard only gives up after
 // ShardRetries consecutive attempts that gathered nothing new.
 func (c *Coordinator) runShard(j *job, sh *shard) error {
+	if sh.span == "" {
+		sh.span = obs.NewSpanID()
+	}
 	err := c.runShardAttempts(j, sh)
+	sh.mu.Lock()
+	attempts := sh.attempts
+	sh.mu.Unlock()
+	c.metrics.placementAttempts.Observe(float64(attempts))
 	if err == nil {
 		// The gather loop completed: every one of the shard's scenarios
 		// has a committed row. Journaled so a restarted coordinator
@@ -178,8 +193,8 @@ func (c *Coordinator) runShardAttempts(j *job, sh *shard) error {
 			}
 			c.recov.redispatched.Add(1)
 			sh.setErr(err)
-			c.logf("sched: %s shard %d: re-adoption of %s on %s failed (%v); re-dispatching",
-				j.id, sh.idx, pl.WorkerJob, pl.Worker, err)
+			c.log.Warn("shard re-adoption failed; re-dispatching", "job_id", j.id, "trace_id", j.traceID,
+				"shard", sh.idx, "worker_job", pl.WorkerJob, "worker", pl.Worker, "err", err)
 			continue
 		}
 
@@ -216,7 +231,8 @@ func (c *Coordinator) runShardAttempts(j *job, sh *shard) error {
 		}
 		w.noteRetry()
 		sh.setErr(err)
-		c.logf("sched: %s shard %d attempt %d on %s: %v", j.id, sh.idx, attempt, w.url, err)
+		c.log.Warn("shard attempt failed", "job_id", j.id, "trace_id", j.traceID,
+			"shard", sh.idx, "attempt", attempt, "worker", w.url, "err", err)
 		lastErr = err
 		last = w
 		if after := len(j.missingOf(sh.indices)); after < len(missing) {
@@ -260,11 +276,12 @@ func (c *Coordinator) attemptShard(j *job, sh *shard, w *worker, missing []int, 
 	if err != nil {
 		return err
 	}
-	wid, err := c.submitShard(j.ctx, w, body)
+	wid, err := c.submitShard(j.ctx, w, body, j.traceID, sh.span)
 	if err != nil {
 		return err
 	}
 	sh.setPlacement(w.url, wid)
+	j.notePlacement(w.url, wid)
 	w.notePlaced()
 	// The lease is journaled with exactly the globals this submission
 	// carried: the worker-side job's local scenario index i means
@@ -278,6 +295,7 @@ func (c *Coordinator) attemptShard(j *job, sh *shard, w *worker, missing []int, 
 			WorkerJob: wid,
 			Attempt:   attempt,
 			Scenarios: missing,
+			Span:      sh.span,
 		}})
 	return c.gatherShard(j, w, wid, missing)
 }
@@ -301,6 +319,7 @@ func (c *Coordinator) adoptShard(j *job, sh *shard, pl *store.ShardPlacedRecord)
 		return fmt.Errorf("adopt shard job %s: %w", pl.WorkerJob, err)
 	}
 	sh.setPlacement(w.url, pl.WorkerJob)
+	j.notePlacement(w.url, pl.WorkerJob)
 	before := len(j.missingOf(pl.Scenarios))
 	switch st.State {
 	case serve.JobDone, serve.JobFailed:
@@ -321,14 +340,17 @@ func (c *Coordinator) adoptShard(j *job, sh *shard, pl *store.ShardPlacedRecord)
 		return err
 	}
 	c.recov.readoptedShards.Add(1)
-	c.logf("sched: %s shard %d re-adopted %s on %s (%s)", j.id, sh.idx, pl.WorkerJob, w.url, st.State)
+	c.log.Info("shard re-adopted", "job_id", j.id, "trace_id", j.traceID,
+		"shard", sh.idx, "worker_job", pl.WorkerJob, "worker", w.url, "state", string(st.State))
 	return nil
 }
 
-// submitShard POSTs one shard submission. A 429 comes back as errBusy
-// (healthy worker, full queue); a transport error marks the worker
-// unhealthy until the prober sees it again.
-func (c *Coordinator) submitShard(ctx context.Context, w *worker, body []byte) (string, error) {
+// submitShard POSTs one shard submission, stamping it with the job's
+// trace context so the worker-side job's spans join the federated
+// trace under the shard's span. A 429 comes back as errBusy (healthy
+// worker, full queue); a transport error marks the worker unhealthy
+// until the prober sees it again.
+func (c *Coordinator) submitShard(ctx context.Context, w *worker, body []byte, traceID, parentSpan string) (string, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/api/v1/jobs", bytes.NewReader(body))
@@ -336,6 +358,7 @@ func (c *Coordinator) submitShard(ctx context.Context, w *worker, body []byte) (
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.InjectTrace(req.Header, traceID, parentSpan)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		w.markUnhealthy(err)
@@ -589,7 +612,7 @@ func (c *Coordinator) cancelShard(sh *shard) {
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		c.logf("sched: cancel shard job %s on %s: %v", wid, wurl, err)
+		c.log.Warn("shard cancel failed", "worker_job", wid, "worker", wurl, "err", err)
 		return
 	}
 	resp.Body.Close()

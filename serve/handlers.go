@@ -13,6 +13,7 @@ import (
 	"darco/export"
 	"darco/internal/stream"
 	"darco/internal/workload"
+	"darco/obs"
 	"darco/store"
 )
 
@@ -48,6 +49,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/export.csv", s.handleExport("csv"))
 	mux.HandleFunc("GET /api/v1/jobs/{id}/export.ndjson", s.handleExport("ndjson"))
 	mux.HandleFunc("GET /api/v1/jobs/{id}/export.html", s.handleExport("html"))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /api/v1/profiles", s.handleProfiles)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -76,7 +78,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
-	j, err := s.submit(spec, raw)
+	// Adopt the caller's trace context (a coordinator submitting a
+	// shard stamps X-Darco-Trace) or start a fresh trace for this job.
+	traceID, parentSpan, ok := obs.ExtractTrace(r.Header)
+	if !ok {
+		traceID = obs.NewTraceID()
+	}
+	j, err := s.submit(spec, raw, traceID, parentSpan)
 	switch {
 	case errors.Is(err, errQueueFull):
 		// Backpressure: the queue is bounded so load sheds at the
@@ -213,7 +221,7 @@ func (s *Server) handleExport(format string) http.HandlerFunc {
 		}
 		if err := WriteExport(w, r, format, rows, wallMS, parallelism); err != nil {
 			// Headers are gone; all we can do is drop the connection.
-			s.logf("export %s for %s: %v", format, j.id, err)
+			s.log.Error("export write failed", "format", format, "job_id", j.id, "err", err)
 		}
 	}
 }
@@ -310,43 +318,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics serves a Prometheus-style plain-text exposition of the
-// daemon's operational state: jobs by state, queue pressure, scenario
-// throughput, and stream fan-out. No client library — the format is
-// lines of `name{labels} value`, which fmt writes fine.
+// handleMetrics serves the daemon's obs.Registry as Prometheus text
+// exposition: jobs by state, queue pressure, scenario throughput,
+// stream fan-out, queue-wait/scenario-wall/store-latency histograms,
+// and the engine hot-path counters of obs-enabled jobs. State families
+// are recomputed from the job registry at scrape time (see
+// serverMetrics), so a restored daemon scrapes correctly from its
+// first request.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	states := []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled, JobInterrupted}
-	byState := make(map[JobState]int, len(states))
-	var scenarios, completed, failed, subscribers int
-	jobs := s.jobs.list()
-	for _, j := range jobs {
-		st := j.status()
-		byState[st.State]++
-		scenarios += st.Scenarios
-		completed += st.Completed
-		failed += st.Failed
-		subscribers += j.events.SubscriberCount()
-	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprintf(w, "# HELP darco_jobs Campaign jobs by lifecycle state.\n# TYPE darco_jobs gauge\n")
-	for _, st := range states {
-		fmt.Fprintf(w, "darco_jobs{state=%q} %d\n", st, byState[st])
-	}
-	fmt.Fprintf(w, "# HELP darco_jobs_total Jobs ever registered (restored history included).\n# TYPE darco_jobs_total counter\ndarco_jobs_total %d\n", len(jobs))
-	fmt.Fprintf(w, "# HELP darco_scenarios_total Scenarios enrolled across all jobs.\n# TYPE darco_scenarios_total counter\ndarco_scenarios_total %d\n", scenarios)
-	fmt.Fprintf(w, "# HELP darco_scenarios_completed_total Scenarios finished across all jobs.\n# TYPE darco_scenarios_completed_total counter\ndarco_scenarios_completed_total %d\n", completed)
-	fmt.Fprintf(w, "# HELP darco_scenarios_failed_total Scenarios finished with an error.\n# TYPE darco_scenarios_failed_total counter\ndarco_scenarios_failed_total %d\n", failed)
-	fmt.Fprintf(w, "# HELP darco_event_subscribers Open event-stream subscriptions.\n# TYPE darco_event_subscribers gauge\ndarco_event_subscribers %d\n", subscribers)
-	fmt.Fprintf(w, "# HELP darco_queue_depth Jobs waiting for a worker.\n# TYPE darco_queue_depth gauge\ndarco_queue_depth %d\n", len(s.queue))
-	fmt.Fprintf(w, "# HELP darco_queue_capacity Job queue capacity.\n# TYPE darco_queue_capacity gauge\ndarco_queue_capacity %d\n", s.opts.QueueCapacity)
-	fmt.Fprintf(w, "# HELP darco_workers Concurrent campaign workers.\n# TYPE darco_workers gauge\ndarco_workers %d\n", s.opts.Workers)
-	fmt.Fprintf(w, "# HELP darco_uptime_seconds Daemon uptime.\n# TYPE darco_uptime_seconds gauge\ndarco_uptime_seconds %g\n", time.Since(s.start).Seconds())
-}
-
-// logf reports server-side failures that have no HTTP channel left
-// (mid-stream export errors); silent unless Options.Logf is set.
-func (s *Server) logf(format string, args ...any) {
-	if s.opts.Logf != nil {
-		s.opts.Logf(format, args...)
-	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	s.metrics.reg.WritePrometheus(w)
 }

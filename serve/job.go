@@ -10,6 +10,7 @@ import (
 
 	"darco/export"
 	"darco/internal/stream"
+	"darco/obs"
 )
 
 // JobState is a campaign job's lifecycle state. Jobs move
@@ -77,6 +78,16 @@ type job struct {
 	spec      *jobSpec // nil for terminal restored jobs
 	raw       []byte   // the submission body as journaled
 
+	// Trace identity, immutable after submit: the trace this job's
+	// spans belong to (adopted from the X-Darco-Trace header when a
+	// coordinator submitted it, otherwise freshly generated), the
+	// upstream parent span, and the id of the job's own root span —
+	// fixed up front so child spans can reference it before the root
+	// itself is recorded at finish.
+	traceID    string
+	parentSpan string
+	rootSpan   string
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	events *stream.Broadcaster
@@ -89,6 +100,8 @@ type job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	runSpan   string     // id of the run span, set at worker pickup
+	spans     []obs.Span // the job's recorded (finished) spans
 
 	// Terminal result: the full scenario-order row set with wall
 	// metrics included (the superset every export view derives from),

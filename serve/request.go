@@ -91,6 +91,13 @@ type EngineSpec struct {
 	Timing  bool    `json:"timing,omitempty"`
 	Power   bool    `json:"power,omitempty"`
 	FreqMHz float64 `json:"freq_mhz,omitempty"`
+
+	// Obs attaches the daemon's shared hot-path profiling counters
+	// (decode/block cache hits, code-cache flushes, timing-pipeline
+	// pressure) to the job's engine; they surface in the daemon's
+	// /metrics under darco_engine_*. Off by default — the instrumented
+	// paths then cost one predictable branch per site.
+	Obs bool `json:"obs,omitempty"`
 }
 
 // TelemetrySpec configures the live instruction-mix stream. Telemetry
@@ -212,6 +219,11 @@ func (s *Server) buildSpec(req *SubmitRequest) (*jobSpec, error) {
 	opts, err := req.Engine.Options()
 	if err != nil {
 		return nil, err
+	}
+	// The obs opt-in binds to this server's shared counter instance, so
+	// it is applied here rather than in the server-agnostic Options.
+	if req.Engine != nil && req.Engine.Obs {
+		opts = append(opts, darco.WithObsCounters(s.metrics.engCtrs))
 	}
 	eng, err := darco.NewEngine(opts...)
 	if err != nil {

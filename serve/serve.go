@@ -12,9 +12,10 @@
 //	GET    /api/v1/jobs/{id}/events    live stream: SSE, or NDJSON with ?format=ndjson
 //	GET    /api/v1/jobs/{id}/export.json|csv|ndjson|html
 //	                                   results rendered on demand (?wall=1 adds wall-clock metrics)
+//	GET    /api/v1/jobs/{id}/trace     the job's trace: span tree JSON, or ?format=chrome for Perfetto
 //	GET    /api/v1/profiles            the workload roster submissions can name
 //	GET    /healthz                    liveness + queue depth
-//	GET    /metrics                    Prometheus-style plain-text exposition
+//	GET    /metrics                    Prometheus text exposition (darco/obs registry)
 //
 // Exports are rendered from the job's stored scenario rows with
 // darco/export defaults, so fetching export.json or export.csv for a
@@ -76,6 +77,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
@@ -85,6 +87,7 @@ import (
 	darco "darco"
 	"darco/export"
 	"darco/internal/stream"
+	"darco/obs"
 	"darco/store"
 	"darco/telemetry"
 )
@@ -129,10 +132,16 @@ type Options struct {
 	// members apart. Empty derives "<hostname>-<pid>".
 	WorkerID string
 
-	// Logf, when non-nil, receives server-side log lines (job
-	// transitions, stream failures). The daemon wires it to log.Printf;
-	// nil runs silent, which is what tests want.
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives the server's structured log records
+	// (job transitions with job_id/trace_id attrs, journal failures,
+	// stream errors). The daemon wires a text handler on stderr; nil
+	// runs silent, which is what tests want.
+	Log *slog.Logger
+
+	// StoreMetrics, when non-nil, are the latency histograms the
+	// durable store observes (the same instance passed to store.Open);
+	// the server registers them into its /metrics exposition.
+	StoreMetrics *store.Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -159,10 +168,12 @@ func (o Options) withDefaults() Options {
 // and worker pool behind it. Create with New, serve it with any
 // net/http server, and stop it with Shutdown.
 type Server struct {
-	opts  Options
-	mux   *http.ServeMux
-	jobs  *registry
-	start time.Time
+	opts    Options
+	mux     *http.ServeMux
+	jobs    *registry
+	start   time.Time
+	log     *slog.Logger
+	metrics *serverMetrics
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -181,7 +192,15 @@ func New(opts Options) *Server {
 		jobs:  newRegistry(),
 		start: time.Now(),
 	}
+	s.log = s.opts.Log
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	// Metrics exist before recovery: restored re-queued submissions are
+	// re-validated through buildSpec, which hands obs-enabled jobs the
+	// registry's shared engine counters.
+	s.initMetrics()
 	requeue := s.restoreJobs()
 	capacity := s.opts.QueueCapacity
 	if len(requeue) > capacity {
@@ -248,7 +267,7 @@ func (s *Server) journal(rec store.Record) {
 		rec.Time = time.Now()
 	}
 	if err := s.opts.Store.Append(rec); err != nil {
-		s.logf("serve: journal %s for %s: %v", rec.Kind, rec.Job, err)
+		s.log.Error("journal append failed", "kind", string(rec.Kind), "job_id", rec.Job, "err", err)
 	}
 }
 
@@ -258,7 +277,7 @@ func (s *Server) compact(id string) {
 		return
 	}
 	if err := s.opts.Store.CompactJob(id); err != nil {
-		s.logf("serve: compact %s: %v", id, err)
+		s.log.Error("snapshot compaction failed", "job_id", id, "err", err)
 	}
 }
 
@@ -287,7 +306,7 @@ func (s *Server) restoreJobs() []*job {
 					Finished: &store.FinishedRecord{State: string(JobCancelled), Error: j.err.Error()}})
 				s.compact(j.id)
 				sealRestored(j, h)
-				s.logf("serve: %s cancelled while queued before the restart", j.id)
+				s.log.Info("job cancelled while queued before the restart", "job_id", j.id, "trace_id", j.traceID)
 				continue
 			}
 			spec, err := s.decodeSubmit(bytes.NewReader(h.Request))
@@ -313,12 +332,18 @@ func (s *Server) restoreJobs() []*job {
 				raw:       h.Request,
 				state:     JobQueued,
 				submitted: h.SubmittedAt,
-				events:    stream.NewBroadcaster(s.opts.ReplayBuffer),
+				// The journaled trace identity is readopted; the root
+				// span id is fresh because a queued job never recorded
+				// any span that could reference the old one.
+				traceID:    h.TraceID,
+				parentSpan: h.ParentSpan,
+				rootSpan:   obs.NewSpanID(),
+				events:     stream.NewBroadcaster(s.opts.ReplayBuffer),
 			}
 			j.ctx, j.cancel = context.WithCancel(s.baseCtx)
 			s.jobs.restore(j)
 			requeue = append(requeue, j)
-			s.logf("serve: %s re-queued after restart (%d scenarios)", j.id, j.scenarios)
+			s.log.Info("job re-queued after restart", "job_id", j.id, "trace_id", j.traceID, "scenarios", j.scenarios)
 		case string(JobRunning):
 			reason := fmt.Errorf("interrupted: daemon restarted mid-run")
 			j := s.restoreTerminal(h, JobInterrupted, reason, reason)
@@ -327,8 +352,8 @@ func (s *Server) restoreJobs() []*job {
 				Interrupted: &store.InterruptedRecord{Reason: reason.Error()}})
 			s.compact(j.id)
 			sealRestored(j, h)
-			s.logf("serve: %s interrupted by restart: %d of %d preserved scenario rows",
-				j.id, len(h.Rows), h.Scenarios)
+			s.log.Info("job interrupted by restart", "job_id", j.id, "trace_id", j.traceID,
+				"preserved_rows", len(h.Rows), "scenarios", h.Scenarios)
 		default:
 			var err error
 			if h.Error != "" {
@@ -362,6 +387,9 @@ func (s *Server) restoreTerminal(h *store.JobHistory, state JobState, jerr, rowR
 		submitted:   h.SubmittedAt,
 		started:     h.StartedAt,
 		finished:    h.FinishedAt,
+		traceID:     h.TraceID,
+		parentSpan:  h.ParentSpan,
+		spans:       append([]obs.Span(nil), h.Spans...),
 		rows:        rows,
 		wallMS:      h.WallMS,
 		parallelism: h.Parallelism,
@@ -480,15 +508,18 @@ var (
 	errClosing   = fmt.Errorf("server is shutting down")
 )
 
-func (s *Server) submit(spec *jobSpec, raw []byte) (*job, error) {
+func (s *Server) submit(spec *jobSpec, raw []byte, traceID, parentSpan string) (*job, error) {
 	j := &job{
-		name:      spec.name,
-		scenarios: len(spec.scenarios),
-		spec:      spec,
-		raw:       raw,
-		state:     JobQueued,
-		submitted: time.Now(),
-		events:    stream.NewBroadcaster(s.opts.ReplayBuffer),
+		name:       spec.name,
+		scenarios:  len(spec.scenarios),
+		spec:       spec,
+		raw:        raw,
+		state:      JobQueued,
+		submitted:  time.Now(),
+		traceID:    traceID,
+		parentSpan: parentSpan,
+		rootSpan:   obs.NewSpanID(),
+		events:     stream.NewBroadcaster(s.opts.ReplayBuffer),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -515,7 +546,8 @@ func (s *Server) submit(spec *jobSpec, raw []byte) (*job, error) {
 	// Journaled before the worker can pop it: a daemon that dies right
 	// here re-queues the job instead of forgetting the accepted 202.
 	s.journal(store.Record{Kind: store.KindSubmitted, Job: j.id, Time: j.submitted,
-		Submitted: &store.SubmittedRecord{Name: j.name, Scenarios: j.scenarios, Request: raw}})
+		Submitted: &store.SubmittedRecord{Name: j.name, Scenarios: j.scenarios, Request: raw,
+			TraceID: j.traceID, ParentSpan: j.parentSpan}})
 	s.queue <- j
 	return j, nil
 }
@@ -563,8 +595,12 @@ func (s *Server) runJob(j *job) {
 	j.state = JobRunning
 	j.started = time.Now()
 	started := j.started
+	waited := started.Sub(j.submitted)
 	j.mu.Unlock()
-	s.logf("serve: %s running: %d scenarios, parallelism %d", j.id, len(j.spec.scenarios), j.spec.parallelism)
+	s.metrics.queueWait.Observe(waited.Seconds())
+	s.startSpans(j, started)
+	s.log.Info("job running", "job_id", j.id, "trace_id", j.traceID,
+		"scenarios", len(j.spec.scenarios), "parallelism", j.spec.parallelism)
 	s.journal(store.Record{Kind: store.KindStarted, Job: j.id, Time: started})
 	j.events.PublishTransient(EventState, j.status())
 
@@ -607,14 +643,17 @@ func (s *Server) runJob(j *job) {
 	}
 	j.mu.Unlock()
 	st := s.finishJob(j)
-	s.logf("serve: %s %s: %d/%d scenarios, %d failed", j.id, st.State, st.Completed, st.Scenarios, st.Failed)
+	s.log.Info("job finished", "job_id", j.id, "trace_id", j.traceID, "state", string(st.State),
+		"completed", st.Completed, "scenarios", st.Scenarios, "failed", st.Failed)
 	j.events.PublishTransient(EventState, st)
 	j.events.Close()
 }
 
-// finishJob journals a job's terminal record, compacts its history
-// into a snapshot, and returns the final status.
+// finishJob records the job's closing spans, journals its terminal
+// record, compacts its history into a snapshot, and returns the final
+// status.
 func (s *Server) finishJob(j *job) JobStatus {
+	s.finishSpans(j)
 	j.mu.Lock()
 	fin := &store.FinishedRecord{
 		State:       string(j.state),
@@ -643,6 +682,8 @@ func (s *Server) scenarioDone(j *job) func(i int, sr *darco.ScenarioResult) {
 			j.failed++
 		}
 		j.mu.Unlock()
+		s.metrics.scenarioWall.Observe(sr.Wall.Seconds())
+		s.scenarioSpans(j, sr, time.Now())
 		row := export.NewRow(sr, export.WithWallTimes())
 		s.journal(store.Record{Kind: store.KindRow, Job: j.id,
 			Row: &store.RowRecord{Index: i, Row: row}})

@@ -26,7 +26,9 @@ type Session struct {
 	stream retireStream
 
 	wall      time.Duration
-	stepStart time.Time // non-zero only while inside Step
+	emulate   time.Duration // inside the controller's run loop
+	drain     time.Duration // waiting on the timing pipeline at Step exit
+	stepStart time.Time     // non-zero only while inside Step
 	done      bool
 	err       error // sticky terminal error
 }
@@ -55,6 +57,7 @@ func (e *Engine) NewSession(im *guest.Image) (*Session, error) {
 		s.core = timing.New(*e.cfg.Timing)
 		if e.cfg.TimingPipeline > 0 {
 			s.pipe = timing.NewPipeline(s.core.Consume, e.cfg.TimingPipeline)
+			s.pipe.SetObsCounters(e.cfg.TOL.Counters)
 		}
 	}
 	s.installRetireHooks()
@@ -167,8 +170,11 @@ func (s *Session) Step(ctx context.Context, budget uint64) (*Result, error) {
 		s.pipe.Start()
 	}
 	err := s.ctl.RunContext(ctx, budget)
+	s.emulate += time.Since(s.stepStart)
 	if s.pipe != nil {
+		drainStart := time.Now()
 		s.pipe.Stop()
+		s.drain += time.Since(drainStart)
 	}
 	s.wall += time.Since(s.stepStart)
 	s.stepStart = time.Time{}
@@ -218,6 +224,11 @@ func (s *Session) Snapshot() *Result {
 		SyscallSyncs:  ctl.SyscallSyncs,
 	}
 	res.HostInsns = res.HostAppInsns + res.Overhead.Total()
+	res.Phases = PhaseTimings{Emulate: s.emulate, TimingDrain: s.drain}
+	if c := s.eng.cfg.TOL.Counters; c != nil {
+		snap := c.Snapshot()
+		res.Obs = &snap
+	}
 	secs := res.Wall.Seconds()
 	if secs > 0 {
 		res.GuestMIPS = float64(res.Stats.GuestInsns()) / secs / 1e6

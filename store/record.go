@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"darco/export"
+	"darco/obs"
 	"darco/telemetry"
 )
 
@@ -39,6 +40,12 @@ const (
 	// KindInterrupted is appended during recovery for a job found
 	// mid-run: the daemon died before the job could finish.
 	KindInterrupted Kind = "interrupted"
+	// KindSpan records one finished tracing span of the job (queue
+	// wait, a scenario, a shard, the job root). Spans journal so GET
+	// /jobs/{id}/trace survives restarts like every other surface; they
+	// ride the OS flush under SyncLifecycle, like telemetry — losing a
+	// span to a machine crash degrades a trace, not a job.
+	KindSpan Kind = "span"
 
 	// The remaining kinds are the fleet coordinator's (darco-sched):
 	// a federated job journals its shard fan-out through them, so a
@@ -84,6 +91,7 @@ type Record struct {
 	Telemetry     *TelemetryRecord     `json:"telemetry,omitempty"`
 	Finished      *FinishedRecord      `json:"finished,omitempty"`
 	Interrupted   *InterruptedRecord   `json:"interrupted,omitempty"`
+	Span          *SpanRecord          `json:"span,omitempty"`
 	ShardPlan     *ShardPlanRecord     `json:"shard_plan,omitempty"`
 	ShardPlaced   *ShardPlacedRecord   `json:"shard_placed,omitempty"`
 	ShardTerminal *ShardTerminalRecord `json:"shard_terminal,omitempty"`
@@ -98,6 +106,13 @@ type SubmittedRecord struct {
 	// Request is the raw JSON submission body, replayed through the
 	// server's validator to re-queue the job after a restart.
 	Request json.RawMessage `json:"request"`
+	// TraceID / ParentSpan pin the job's tracing identity across
+	// restarts: a recovered job keeps emitting spans into the same
+	// trace, so a federated trace stitches even when the coordinator
+	// dies mid-job. ParentSpan is the propagated upstream span (the
+	// coordinator's shard span) for worker-side jobs.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
 }
 
 // RowRecord is one scenario outcome.
@@ -128,6 +143,11 @@ type InterruptedRecord struct {
 	Reason string `json:"reason"`
 }
 
+// SpanRecord is one finished tracing span.
+type SpanRecord struct {
+	Span obs.Span `json:"span"`
+}
+
 // ShardSpec is one contiguous shard of a federated job's roster:
 // global scenario indices [Start, Start+Count).
 type ShardSpec struct {
@@ -149,6 +169,11 @@ type ShardPlacedRecord struct {
 	WorkerJob string `json:"worker_job"`
 	Attempt   int    `json:"attempt"`
 	Scenarios []int  `json:"scenarios"`
+	// Span is the shard's trace span id — the parent the worker-side
+	// job spans were stitched under via the X-Darco-Trace header. A
+	// re-adopting coordinator reuses it so the re-adopted shard's spans
+	// stay attached to the same subtree.
+	Span string `json:"span,omitempty"`
 }
 
 // ShardTerminalRecord closes one shard's gather loop.

@@ -50,6 +50,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"darco/obs"
 )
 
 // SyncPolicy selects when the journal is fsynced.
@@ -72,6 +74,21 @@ type Options struct {
 	Sync SyncPolicy
 	// Logf, when non-nil, receives recovery and compaction notices.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives append/fsync latency
+	// observations — the daemons register these histograms on their
+	// /metrics registries.
+	Metrics *Metrics
+}
+
+// Metrics are the store's latency instrumentation points. Either
+// histogram may be nil (not recorded).
+type Metrics struct {
+	// AppendSeconds observes the full Append call (encode + write +
+	// any fsync).
+	AppendSeconds *obs.Histogram
+	// FsyncSeconds observes only the journal fsync, when the policy
+	// issues one.
+	FsyncSeconds *obs.Histogram
 }
 
 // JobHistory is one job's recovered state, assembled from its snapshot
@@ -108,6 +125,14 @@ type JobHistory struct {
 	// Records is the job's full record history in append order — what
 	// a snapshot serializes and what event-stream replay feeds from.
 	Records []Record
+
+	// TraceID / ParentSpan are the job's tracing identity from its
+	// submission record; Spans are its journaled finished spans, in
+	// append order. Together they restore GET /jobs/{id}/trace across
+	// a restart.
+	TraceID    string
+	ParentSpan string
+	Spans      []obs.Span
 
 	// Coordinator-side (darco-sched) history: the journaled shard
 	// fan-out. ShardPlan is the roster cut; Placements holds the most
@@ -422,6 +447,8 @@ func (st *Store) apply(rec *Record) {
 			h.Name = s.Name
 			h.Scenarios = s.Scenarios
 			h.Request = s.Request
+			h.TraceID = s.TraceID
+			h.ParentSpan = s.ParentSpan
 		}
 		h.SubmittedAt = rec.Time
 		h.submittedSeq = rec.Seq
@@ -448,6 +475,10 @@ func (st *Store) apply(rec *Record) {
 			h.Error = i.Reason
 		}
 		h.FinishedAt = rec.Time
+	case KindSpan:
+		if s := rec.Span; s != nil {
+			h.Spans = append(h.Spans, s.Span)
+		}
 	case KindShardPlan:
 		if p := rec.ShardPlan; p != nil {
 			h.ShardPlan = p.Shards
@@ -486,6 +517,10 @@ func (st *Store) Append(rec Record) error {
 	}
 	st.seq++
 	rec.Seq = st.seq
+	var appendStart time.Time
+	if m := st.opts.Metrics; m != nil && m.AppendSeconds != nil {
+		appendStart = time.Now()
+	}
 	buf, err := appendFrame(nil, &rec)
 	if err != nil {
 		return err
@@ -493,16 +528,26 @@ func (st *Store) Append(rec Record) error {
 	if _, err := st.journal.Write(buf); err != nil {
 		return fmt.Errorf("store: append: %w", err)
 	}
-	switch st.opts.Sync {
-	case SyncAlways:
+	// Spans and telemetry are observability records: under the
+	// lifecycle policy they ride the OS flush instead of forcing an
+	// fsync per record.
+	sync := st.opts.Sync == SyncAlways ||
+		(st.opts.Sync == SyncLifecycle && rec.Kind != KindTelemetry && rec.Kind != KindSpan)
+	if sync {
+		var fsyncStart time.Time
+		if m := st.opts.Metrics; m != nil && m.FsyncSeconds != nil {
+			fsyncStart = time.Now()
+		}
 		err = st.journal.Sync()
-	case SyncLifecycle:
-		if rec.Kind != KindTelemetry {
-			err = st.journal.Sync()
+		if m := st.opts.Metrics; m != nil && m.FsyncSeconds != nil {
+			m.FsyncSeconds.Observe(time.Since(fsyncStart).Seconds())
 		}
 	}
 	if err != nil {
 		return fmt.Errorf("store: sync: %w", err)
+	}
+	if m := st.opts.Metrics; m != nil && m.AppendSeconds != nil {
+		m.AppendSeconds.Observe(time.Since(appendStart).Seconds())
 	}
 	st.apply(&rec)
 	if rec.Job != "" {
