@@ -13,11 +13,14 @@
 //	darco-bench -json . -scale 0.5
 //	darco-bench -exp fig4 -csv out.csv -html dash.html
 //
-// -json writes a BENCH_<n>.json perf-trajectory snapshot (ns/op,
-// allocs/op and the headline metrics for the Table-Speed and Fig. 4–7
-// benches) into the given directory, numbered after the highest
-// existing snapshot. Committing one per perf-relevant PR gives the
-// repository a benchmark trajectory to compare against.
+// -json writes a BENCH_<n>.json perf-trajectory snapshot (schema 2:
+// ns/op, allocs/op, the headline metrics, and the engine
+// profiling-counter snapshot for the Table-Speed and Fig. 4–7 benches;
+// the figure rows record cost_shared instead of duplicating the one
+// measured campaign cost) into the given directory, numbered after the
+// highest existing snapshot. Committing one per perf-relevant PR gives
+// the repository the trajectory `darco-perf gate` and `darco-perf
+// trend` consume.
 //
 // -csv, -ndjson and -html export the suite campaign through
 // darco/export: -csv and -ndjson stream one row per benchmark as
@@ -81,7 +84,15 @@ func main() {
 		}
 		for _, name := range snap.BenchNames() {
 			e := snap.Benches[name]
-			fmt.Printf("%-24s %12.0f ns/op %10.0f allocs/op", name, e.NsPerOp, e.AllocsPerOp)
+			if e.SharesCost() {
+				fmt.Printf("%-26s %25s", name, "cost shared w/ "+e.CostShared)
+			} else {
+				fmt.Printf("%-26s %12.0f ns/op %10.0f allocs/op", name, e.NsPerOp, e.AllocsPerOp)
+			}
+			if e.Counters != nil {
+				fmt.Printf("  decode-hit %.2f%%  block-hit %.2f%%",
+					100*e.Counters.DecodeHitRate(), 100*e.Counters.BlockHitRate())
+			}
 			for _, k := range slices.Sorted(maps.Keys(e.Metrics)) {
 				fmt.Printf("  %s=%.2f", k, e.Metrics[k])
 			}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	darco "darco"
+	"darco/internal/workload"
+	"darco/obs"
+	"darco/perf"
+)
+
+// ABClosure builds the in-process closure darco-perf's paired harness
+// runs: one full functional-stack run of 429.mcf at the given scale,
+// reporting the run's wall/allocation cost and its engine-counter
+// delta. The workload image is resolved up front so image construction
+// never lands inside a measured repetition. slowdown injects a
+// deliberate sleep into every repetition — the harness's built-in
+// regression fixture (darco-perf ab -inject-slowdown) proving that a
+// real slowdown is called out as one.
+func ABClosure(scale float64, slowdown time.Duration) (perf.Closure, error) {
+	p, ok := workload.ByName("429.mcf")
+	if !ok {
+		return nil, fmt.Errorf("experiments: 429.mcf missing from roster")
+	}
+	im, err := workload.CachedImage(p.Scale(scale))
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context) (perf.Sample, error) {
+		ctrs := &obs.EngineCounters{}
+		var res *darco.Result
+		entry, err := measure(func() error {
+			eng, err := darco.NewEngine(darco.WithConfig(darco.DefaultConfig()), darco.WithObsCounters(ctrs))
+			if err != nil {
+				return err
+			}
+			res, err = eng.Run(ctx, im)
+			if err == nil && slowdown > 0 {
+				time.Sleep(slowdown)
+			}
+			return err
+		})
+		if err != nil {
+			return perf.Sample{}, err
+		}
+		return perf.Sample{
+			Ns:          entry.NsPerOp,
+			AllocsPerOp: entry.AllocsPerOp,
+			BytesPerOp:  entry.BytesPerOp,
+			Counters:    res.Obs,
+		}, nil
+	}, nil
+}

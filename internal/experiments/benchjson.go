@@ -3,42 +3,26 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"maps"
-	"os"
-	"path/filepath"
-	"regexp"
 	"runtime"
-	"slices"
 	"time"
 
 	darco "darco"
-	"darco/export"
 	"darco/internal/workload"
+	"darco/obs"
+	"darco/perf"
 )
 
-// BenchEntry is one measured benchmark in a snapshot. For the figure
-// entries the cost fields are the shared suite-campaign cost (the four
-// figures are different views of one campaign).
-type BenchEntry struct {
-	NsPerOp     float64            `json:"ns_per_op"`
-	AllocsPerOp float64            `json:"allocs_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
+// BenchEntry and BenchSnapshot are the BENCH_<n>.json schema, owned by
+// darco/perf (the regression gate and trend dashboard read the same
+// types); this package keeps the collection side — actually running
+// the benches with profiling counters attached.
+type (
+	BenchEntry    = perf.Bench
+	BenchSnapshot = perf.Snapshot
+)
 
-// BenchSnapshot is one BENCH_<n>.json: the perf trajectory point a PR
-// leaves behind. Future PRs regenerate it with `darco-bench -json .`
-// and compare against the committed history; absolute numbers are
-// machine-dependent, ratios within one machine are the signal.
-type BenchSnapshot struct {
-	Schema    int                   `json:"schema"`
-	CreatedAt string                `json:"created_at"`
-	GoVersion string                `json:"go_version"`
-	GOOS      string                `json:"goos"`
-	GOARCH    string                `json:"goarch"`
-	Scale     float64               `json:"scale"`
-	Benches   map[string]BenchEntry `json:"benches"`
-}
+// NextBenchPath returns the path of the next BENCH_<n>.json in dir.
+func NextBenchPath(dir string) (string, error) { return perf.NextBenchPath(dir) }
 
 // BenchPipelineDepth is the timing-pipeline window depth the perf
 // snapshots and speed benches measure (deep enough that the emulator
@@ -46,14 +30,14 @@ type BenchSnapshot struct {
 const BenchPipelineDepth = 8
 
 // measure runs f once and reports its wall time and allocation cost.
-func measure(f func() error) (BenchEntry, error) {
+func measure(f func() error) (perf.Bench, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	err := f()
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
-	return BenchEntry{
+	return perf.Bench{
 		NsPerOp:     float64(wall.Nanoseconds()),
 		AllocsPerOp: float64(after.Mallocs - before.Mallocs),
 		BytesPerOp:  float64(after.TotalAlloc - before.TotalAlloc),
@@ -61,16 +45,21 @@ func measure(f func() error) (BenchEntry, error) {
 }
 
 // CollectBenchSnapshot measures the Table-Speed benches and the
-// Figs. 4–7 suite campaign at the given workload scale.
-func CollectBenchSnapshot(ctx context.Context, scale float64) (*BenchSnapshot, error) {
-	snap := &BenchSnapshot{
-		Schema:    1,
+// Figs. 4–7 suite campaign at the given workload scale, writing the
+// schema-2 snapshot shape: every measured row carries its engine
+// profiling-counter snapshot (the machine-independent signals the
+// darco-perf gate compares exactly), and the four figure rows record
+// cost_shared = "SuiteCampaign" instead of duplicating the one
+// measured campaign cost.
+func CollectBenchSnapshot(ctx context.Context, scale float64) (*perf.Snapshot, error) {
+	snap := &perf.Snapshot{
+		Schema:    perf.SchemaVersion,
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		Scale:     scale,
-		Benches:   make(map[string]BenchEntry),
+		Benches:   make(map[string]perf.Bench),
 	}
 
 	p, ok := workload.ByName("429.mcf")
@@ -83,6 +72,8 @@ func CollectBenchSnapshot(ctx context.Context, scale float64) (*BenchSnapshot, e
 	}
 
 	speed := func(name string, timing bool, opts ...darco.Option) error {
+		ctrs := &obs.EngineCounters{}
+		opts = append(append([]darco.Option(nil), opts...), darco.WithObsCounters(ctrs))
 		var res *darco.Result
 		entry, err := measure(func() error {
 			eng, err := darco.NewEngine(opts...)
@@ -106,6 +97,7 @@ func CollectBenchSnapshot(ctx context.Context, scale float64) (*BenchSnapshot, e
 				"host-MIPS":  res.HostMIPS,
 			}
 		}
+		entry.Counters = res.Obs
 		snap.Benches[name] = entry
 		return nil
 	}
@@ -123,10 +115,18 @@ func CollectBenchSnapshot(ctx context.Context, scale float64) (*BenchSnapshot, e
 		return nil, err
 	}
 
-	// One parallel suite campaign backs all four figures.
+	// One parallel suite campaign backs all four figures. The counters
+	// are shared across the campaign's scenarios; the per-field sums
+	// are order-independent, so the snapshot is deterministic at any
+	// parallelism.
+	ctrs := &obs.EngineCounters{}
 	var rs []BenchResult
 	campaign, err := measure(func() error {
-		rep, err := SuiteCampaign(ctx, scale, darco.DefaultConfig())
+		eng, err := darco.NewEngine(darco.WithConfig(darco.DefaultConfig()), darco.WithObsCounters(ctrs))
+		if err != nil {
+			return err
+		}
+		rep, err := eng.RunCampaign(ctx, darco.SuiteScenarios(scale))
 		if err != nil {
 			return err
 		}
@@ -136,14 +136,18 @@ func CollectBenchSnapshot(ctx context.Context, scale float64) (*BenchSnapshot, e
 	if err != nil {
 		return nil, err
 	}
-	snap.Benches["SuiteCampaign"] = campaign
+	cs := ctrs.Snapshot()
+	campaign.Counters = &cs
+	snap.Benches[perf.SuiteCampaignBench] = campaign
 
+	// The figure rows are different views of the campaign above: they
+	// carry their headline metrics and an explicit cost_shared marker
+	// instead of a copy of the campaign's measured cost, so trend
+	// lines and gates see one sample, not five.
 	fig := func(name string, metrics map[string]float64) {
-		snap.Benches[name] = BenchEntry{
-			NsPerOp:     campaign.NsPerOp,
-			AllocsPerOp: campaign.AllocsPerOp,
-			BytesPerOp:  campaign.BytesPerOp,
-			Metrics:     metrics,
+		snap.Benches[name] = perf.Bench{
+			Metrics:    metrics,
+			CostShared: perf.SuiteCampaignBench,
 		}
 	}
 
@@ -194,53 +198,4 @@ func CollectBenchSnapshot(ctx context.Context, scale float64) (*BenchSnapshot, e
 		})
 	}
 	return snap, nil
-}
-
-var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
-
-// NextBenchPath returns the path of the next BENCH_<n>.json in dir
-// (1 + the highest existing snapshot number).
-func NextBenchPath(dir string) (string, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return "", err
-	}
-	next := 1
-	for _, e := range entries {
-		m := benchFileRE.FindStringSubmatch(e.Name())
-		if m == nil {
-			continue
-		}
-		var n int
-		fmt.Sscanf(m[1], "%d", &n)
-		if n >= next {
-			next = n + 1
-		}
-	}
-	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
-}
-
-// WriteBenchSnapshot writes snap as the next BENCH_<n>.json in dir and
-// returns the written path. The bytes come from export.EncodeJSON, the
-// shared encoder for every darco JSON artifact (campaign exports and
-// perf snapshots stay diff-friendly the same way).
-func (s *BenchSnapshot) Write(dir string) (string, error) {
-	path, err := NextBenchPath(dir)
-	if err != nil {
-		return "", err
-	}
-	data, err := export.EncodeJSON(s)
-	if err != nil {
-		return "", err
-	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return "", err
-	}
-	return path, nil
-}
-
-// BenchNames lists the snapshot's benchmark names sorted, for stable
-// reporting.
-func (s *BenchSnapshot) BenchNames() []string {
-	return slices.Sorted(maps.Keys(s.Benches))
 }

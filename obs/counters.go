@@ -71,6 +71,28 @@ func (c *EngineCounters) Snapshot() EngineCountersSnapshot {
 	}
 }
 
+// Delta is shorthand for c.Snapshot().Sub(prev): the counter movement
+// since a previous snapshot. The paired A/B perf harness brackets each
+// measured repetition with Snapshot/Delta to attribute cache and
+// pipeline traffic to exactly that repetition even when the counters
+// instance is shared across runs.
+func (c *EngineCounters) Delta(prev EngineCountersSnapshot) EngineCountersSnapshot {
+	return c.Snapshot().Sub(prev)
+}
+
+// Reset zeroes every counter. Only safe between runs — concurrent
+// updates during a reset land unpredictably on either side of it.
+func (c *EngineCounters) Reset() {
+	c.DecodeHits.Store(0)
+	c.DecodeMisses.Store(0)
+	c.BlockHits.Store(0)
+	c.BlockMisses.Store(0)
+	c.CodeFlushes.Store(0)
+	c.PipelinePushes.Store(0)
+	c.PipelineFlushes.Store(0)
+	c.PipelineStalls.Store(0)
+}
+
 // Sub returns the delta s - prev, for per-phase attribution when one
 // counters instance spans several runs.
 func (s EngineCountersSnapshot) Sub(prev EngineCountersSnapshot) EngineCountersSnapshot {
@@ -84,6 +106,21 @@ func (s EngineCountersSnapshot) Sub(prev EngineCountersSnapshot) EngineCountersS
 		PipelineFlushes: s.PipelineFlushes - prev.PipelineFlushes,
 		PipelineStalls:  s.PipelineStalls - prev.PipelineStalls,
 	}
+}
+
+// EqualDeterministic reports whether the machine-independent counters
+// match: everything except PipelineStalls, which counts the emulator
+// blocking on timing back-pressure and therefore depends on scheduler
+// timing, not on the code under test. The perf regression gate
+// compares snapshots field-exactly through this predicate.
+func (s EngineCountersSnapshot) EqualDeterministic(o EngineCountersSnapshot) bool {
+	return s.DecodeHits == o.DecodeHits &&
+		s.DecodeMisses == o.DecodeMisses &&
+		s.BlockHits == o.BlockHits &&
+		s.BlockMisses == o.BlockMisses &&
+		s.CodeFlushes == o.CodeFlushes &&
+		s.PipelinePushes == o.PipelinePushes &&
+		s.PipelineFlushes == o.PipelineFlushes
 }
 
 // DecodeHitRate is hits/(hits+misses), 0 when no lookups happened.

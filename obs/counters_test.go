@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEngineCountersDeltaAndReset(t *testing.T) {
+	c := &EngineCounters{}
+	c.DecodeHits.Add(10)
+	c.BlockMisses.Add(3)
+	before := c.Snapshot()
+
+	c.DecodeHits.Add(5)
+	c.PipelinePushes.Add(7)
+	d := c.Delta(before)
+	if d.DecodeHits != 5 || d.PipelinePushes != 7 || d.BlockMisses != 0 {
+		t.Fatalf("Delta = %+v, want DecodeHits=5 PipelinePushes=7 BlockMisses=0", d)
+	}
+
+	c.Reset()
+	if got := c.Snapshot(); got != (EngineCountersSnapshot{}) {
+		t.Fatalf("after Reset: %+v, want zero", got)
+	}
+}
+
+func TestEngineCountersEqualDeterministic(t *testing.T) {
+	a := EngineCountersSnapshot{DecodeHits: 1, BlockHits: 2, PipelineFlushes: 3, PipelineStalls: 9}
+	b := a
+	b.PipelineStalls = 0 // scheduling-dependent: must not break equality
+	if !a.EqualDeterministic(b) {
+		t.Fatal("stall drift broke deterministic equality")
+	}
+	b.PipelineFlushes++
+	if a.EqualDeterministic(b) {
+		t.Fatal("flush drift went undetected")
+	}
+}
+
+func TestEngineCountersConcurrentDelta(t *testing.T) {
+	c := &EngineCounters{}
+	base := c.Snapshot()
+	var wg sync.WaitGroup
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 1000 {
+				c.DecodeHits.Add(1)
+				c.PipelinePushes.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	d := c.Delta(base)
+	if d.DecodeHits != 8000 || d.PipelinePushes != 16000 {
+		t.Fatalf("concurrent delta = %+v, want 8000/16000", d)
+	}
+}

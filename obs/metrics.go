@@ -286,6 +286,62 @@ type HistogramSnapshot struct {
 	Count  uint64    `json:"count"`
 }
 
+// Quantile estimates the q-quantile of the observed distribution from
+// the bucket counts, interpolating linearly inside the containing
+// bucket (the Prometheus histogram_quantile estimate). It is
+// zero-value-safe: an empty histogram returns 0 for any q, and q is
+// clamped into [0, 1]. Observations that landed in the +Inf bucket cap
+// the estimate at the highest finite bound; a histogram whose every
+// observation overflowed returns the mean (sum/count) as the best
+// remaining estimate.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile is Histogram.Quantile over a captured snapshot, so one
+// consistent cut can answer several quantiles.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: the estimate saturates at the highest finite
+			// bound; with no finite bucket at all, fall back to the mean.
+			if len(s.Bounds) == 0 {
+				return s.Sum / float64(s.Count)
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		hi := s.Bounds[i]
+		if cum+float64(c) >= rank {
+			return lo + (hi-lo)*(rank-cum)/float64(c)
+		}
+		cum += float64(c)
+	}
+	if len(s.Bounds) > 0 {
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	return s.Sum / float64(s.Count)
+}
+
 // Snapshot copies the histogram's current state.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// The zero-value snapshot (no bounds, no counts) is just as safe.
+	var s HistogramSnapshot
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("zero snapshot Quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	// 10 observations uniformly in (0,10], 10 in (10,20].
+	for range 10 {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("Quantile(0.5) = %v, want 10 (bucket boundary)", got)
+	}
+	if got := h.Quantile(0.25); got != 5 {
+		t.Fatalf("Quantile(0.25) = %v, want 5 (mid first bucket)", got)
+	}
+	if got := h.Quantile(1); got != 20 {
+		t.Fatalf("Quantile(1) = %v, want 20", got)
+	}
+	if got := h.Quantile(0); math.IsNaN(got) || got < 0 || got > 1 {
+		t.Fatalf("Quantile(0) = %v, want within first bucket's first rank", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(100) // lands in +Inf
+	h.Observe(0.5)
+	if got := h.Quantile(0.99); got != 1 {
+		t.Fatalf("Quantile into +Inf bucket = %v, want cap at highest finite bound 1", got)
+	}
+	// Every observation overflowed and there is no finite bound at all:
+	// fall back to the mean.
+	h2 := NewHistogram(nil)
+	h2.Observe(4)
+	h2.Observe(8)
+	if got := h2.Quantile(0.5); got != 6 {
+		t.Fatalf("boundless Quantile = %v, want mean 6", got)
+	}
+	// Clamp out-of-range and NaN q instead of panicking.
+	if got := h.Quantile(math.NaN()); math.IsNaN(got) {
+		t.Fatalf("Quantile(NaN) = NaN, want clamped estimate")
+	}
+	if got := h.Quantile(2); got != 1 {
+		t.Fatalf("Quantile(2) = %v, want clamp to Quantile(1)", got)
+	}
+}
+
+func TestQuantileConcurrentUpdates(t *testing.T) {
+	h := NewHistogram(ExpBuckets(0.001, 2, 16))
+	var readers, writers sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers race quantile estimation against live observation; the
+	// estimate must stay inside the observed support and the race
+	// detector must stay quiet.
+	for range 4 {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := h.Quantile(0.9)
+				if math.IsNaN(q) || q < 0 {
+					t.Errorf("mid-update Quantile = %v", q)
+					return
+				}
+			}
+		}()
+	}
+	for range 4 {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := range 5000 {
+				h.Observe(float64(i%100) / 100)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got, want := h.Snapshot().Count, uint64(20000); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 1.024 {
+		t.Fatalf("settled Quantile(0.5) = %v, want within observed support", q)
+	}
+}

@@ -1,0 +1,250 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"darco/obs"
+)
+
+// Sample is one measured repetition of a benchmark closure.
+type Sample struct {
+	Ns          float64 // wall nanoseconds of the repetition
+	AllocsPerOp float64 // heap allocations (0 when the runner can't see them)
+	BytesPerOp  float64
+	// Counters is the repetition's engine profiling-counter delta,
+	// when the closure attaches obs.EngineCounters (nil otherwise).
+	Counters *obs.EngineCountersSnapshot
+}
+
+// Closure runs one measured iteration of the benchmark under test.
+// The harness calls it repeatedly; any per-process warmup (building
+// workload images, JIT-style caches that should not be measured) must
+// either happen on first call — the warmup pairs absorb it — or be
+// hoisted before RunAB.
+type Closure func(ctx context.Context) (Sample, error)
+
+// Verdict is the A/B comparison's conclusion about the candidate.
+type Verdict string
+
+const (
+	// VerdictFaster: the candidate is significantly faster than the
+	// baseline and by at least the minimum effect size.
+	VerdictFaster Verdict = "faster"
+	// VerdictSlower: significantly slower by at least the minimum
+	// effect size.
+	VerdictSlower Verdict = "slower"
+	// VerdictInconclusive: the paired differences are statistically
+	// indistinguishable from noise, or the effect is below the
+	// threshold that matters. Self-vs-self must land here.
+	VerdictInconclusive Verdict = "inconclusive"
+)
+
+// ABOptions tune the paired harness. The zero value picks defaults
+// suitable for a deliberate perf investigation; -quick in darco-perf
+// shrinks them for a CI self-test.
+type ABOptions struct {
+	Warmup    int     // unmeasured warmup pairs before measuring (default 1)
+	Reps      int     // measured interleaved pairs (default 10)
+	Alpha     float64 // sign-test significance level (default 0.05)
+	MinEffect float64 // minimum |median ratio - 1| to call a verdict (default 0.02)
+}
+
+func (o *ABOptions) withDefaults() ABOptions {
+	out := *o
+	if out.Warmup <= 0 {
+		out.Warmup = 1
+	}
+	if out.Reps <= 0 {
+		out.Reps = 10
+	}
+	if out.Alpha <= 0 {
+		out.Alpha = 0.05
+	}
+	if out.MinEffect <= 0 {
+		out.MinEffect = 0.02
+	}
+	return out
+}
+
+// Arm summarizes one side of the comparison.
+type Arm struct {
+	Name        string
+	Ns          []float64 // per-repetition wall times, in run order
+	MedianNs    float64
+	MADNs       float64
+	AllocsPerOp float64 // median across repetitions
+	// Counters is the last repetition's counter delta (deterministic
+	// fields are identical across repetitions of deterministic code).
+	Counters *obs.EngineCountersSnapshot
+}
+
+// ABResult is the paired comparison's full outcome.
+type ABResult struct {
+	Baseline  Arm
+	Candidate Arm
+
+	// Ratio is candidate median / baseline median; Effect is Ratio-1
+	// (the signed fractional slowdown of the candidate).
+	Ratio  float64
+	Effect float64
+
+	// Sign-test evidence over the paired per-repetition differences.
+	CandWins int // repetitions where the candidate was strictly faster
+	BaseWins int
+	Ties     int
+	PValue   float64
+
+	Verdict Verdict
+
+	// CountersDiverge is set when both arms carried engine counters
+	// and their deterministic fields differ. Across different code
+	// versions that is expected (and worth reading); in a self-vs-self
+	// run it means the workload itself went nondeterministic.
+	CountersDiverge bool
+}
+
+// Decide turns the paired evidence into a verdict: significance (the
+// sign-test p-value at or below alpha) AND a material effect size
+// (|ratio-1| at or above MinEffect) are both required, so pure noise
+// and real-but-negligible deltas land inconclusive.
+func Decide(ratio, pValue float64, opt ABOptions) Verdict {
+	opt = opt.withDefaults()
+	if pValue <= opt.Alpha {
+		if ratio <= 1-opt.MinEffect {
+			return VerdictFaster
+		}
+		if ratio >= 1+opt.MinEffect {
+			return VerdictSlower
+		}
+	}
+	return VerdictInconclusive
+}
+
+// RunAB runs the paired interleaved A/B harness: Warmup unmeasured
+// pairs, then Reps measured pairs with the within-pair order
+// alternating (B,C / C,B / ...) so slow machine drift — thermal
+// throttling, a neighbour VM waking up — cancels out of the paired
+// differences instead of masquerading as a regression. Repetition i of
+// each arm forms one paired difference; the verdict comes from a
+// two-sided sign test plus a minimum-effect guard (Decide).
+func RunAB(ctx context.Context, baseline, candidate Closure, opt ABOptions) (*ABResult, error) {
+	opt = opt.withDefaults()
+	run := func(c Closure, arm *Arm) (Sample, error) {
+		s, err := c(ctx)
+		if err != nil {
+			return s, fmt.Errorf("perf: %s repetition %d: %w", arm.Name, len(arm.Ns), err)
+		}
+		return s, nil
+	}
+	res := &ABResult{
+		Baseline:  Arm{Name: "baseline"},
+		Candidate: Arm{Name: "candidate"},
+	}
+	var baseAllocs, candAllocs []float64
+	pair := func(i int, measured bool) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		first, second := &res.Baseline, &res.Candidate
+		firstC, secondC := baseline, candidate
+		if i%2 == 1 {
+			first, second = second, first
+			firstC, secondC = secondC, firstC
+		}
+		s1, err := run(firstC, first)
+		if err != nil {
+			return err
+		}
+		s2, err := run(secondC, second)
+		if err != nil {
+			return err
+		}
+		if !measured {
+			return nil
+		}
+		record := func(arm *Arm, s Sample, allocs *[]float64) {
+			arm.Ns = append(arm.Ns, s.Ns)
+			*allocs = append(*allocs, s.AllocsPerOp)
+			if s.Counters != nil {
+				arm.Counters = s.Counters
+			}
+		}
+		if first == &res.Baseline {
+			record(&res.Baseline, s1, &baseAllocs)
+			record(&res.Candidate, s2, &candAllocs)
+		} else {
+			record(&res.Candidate, s1, &candAllocs)
+			record(&res.Baseline, s2, &baseAllocs)
+		}
+		return nil
+	}
+	for i := range opt.Warmup {
+		if err := pair(i, false); err != nil {
+			return nil, err
+		}
+	}
+	for i := range opt.Reps {
+		if err := pair(i, true); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Baseline.MedianNs = Median(res.Baseline.Ns)
+	res.Baseline.MADNs = MAD(res.Baseline.Ns)
+	res.Baseline.AllocsPerOp = Median(baseAllocs)
+	res.Candidate.MedianNs = Median(res.Candidate.Ns)
+	res.Candidate.MADNs = MAD(res.Candidate.Ns)
+	res.Candidate.AllocsPerOp = Median(candAllocs)
+
+	for i := range res.Baseline.Ns {
+		switch d := res.Candidate.Ns[i] - res.Baseline.Ns[i]; {
+		case d < 0:
+			res.CandWins++
+		case d > 0:
+			res.BaseWins++
+		default:
+			res.Ties++
+		}
+	}
+	res.PValue = SignTest(res.CandWins, res.BaseWins)
+	if res.Baseline.MedianNs > 0 {
+		res.Ratio = res.Candidate.MedianNs / res.Baseline.MedianNs
+	} else {
+		res.Ratio = 1
+	}
+	res.Effect = res.Ratio - 1
+	res.Verdict = Decide(res.Ratio, res.PValue, opt)
+	if res.Baseline.Counters != nil && res.Candidate.Counters != nil {
+		res.CountersDiverge = !res.Baseline.Counters.EqualDeterministic(*res.Candidate.Counters)
+	}
+	return res, nil
+}
+
+// Format renders the result as the human-readable block darco-perf
+// prints; the last line is the grep-stable verdict.
+func (r *ABResult) Format() string {
+	var b strings.Builder
+	arm := func(a *Arm) {
+		fmt.Fprintf(&b, "%-10s median %14.0f ns  ±%.0f MAD  n=%d", a.Name, a.MedianNs, a.MADNs, len(a.Ns))
+		if a.AllocsPerOp > 0 {
+			fmt.Fprintf(&b, "  %10.0f allocs/op", a.AllocsPerOp)
+		}
+		if a.Counters != nil {
+			fmt.Fprintf(&b, "  decode-hit %.2f%%  block-hit %.2f%%",
+				100*a.Counters.DecodeHitRate(), 100*a.Counters.BlockHitRate())
+		}
+		b.WriteByte('\n')
+	}
+	arm(&r.Baseline)
+	arm(&r.Candidate)
+	fmt.Fprintf(&b, "paired: candidate faster %d / slower %d / tied %d, sign-test p=%.4f\n",
+		r.CandWins, r.BaseWins, r.Ties, r.PValue)
+	if r.CountersDiverge {
+		b.WriteString("note: deterministic engine counters diverge between the arms\n")
+	}
+	fmt.Fprintf(&b, "verdict: %s (candidate/baseline median %.3fx, effect %+.1f%%)\n",
+		r.Verdict, r.Ratio, 100*r.Effect)
+	return b.String()
+}

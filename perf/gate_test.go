@@ -1,0 +1,197 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"darco/obs"
+)
+
+func gateSnap() *Snapshot {
+	ctrs := obs.EngineCountersSnapshot{
+		DecodeHits: 1000, DecodeMisses: 10,
+		BlockHits: 500, BlockMisses: 5,
+		CodeFlushes: 2, PipelinePushes: 300, PipelineFlushes: 4,
+		PipelineStalls: 7,
+	}
+	return &Snapshot{
+		Schema: SchemaVersion,
+		Scale:  0.5,
+		Benches: map[string]Bench{
+			"Speed": {
+				NsPerOp: 1e8, AllocsPerOp: 20000, BytesPerOp: 5e6,
+				Metrics:  map[string]float64{"guest-MIPS": 12.5, "SBM%": 95.2},
+				Counters: &ctrs,
+			},
+			SuiteCampaignBench: {
+				NsPerOp: 2e9, AllocsPerOp: 1e6, BytesPerOp: 8e8,
+			},
+			"Fig": {
+				Metrics:    map[string]float64{"cost-INT": 3.4},
+				CostShared: SuiteCampaignBench,
+			},
+		},
+	}
+}
+
+func TestGateIdenticalPasses(t *testing.T) {
+	r := Gate(gateSnap(), gateSnap(), GatePolicy{})
+	if !r.Pass() || r.Failures != 0 || r.Advisories != 0 {
+		t.Fatalf("identical snapshots: %s", r.Format(true))
+	}
+}
+
+func TestGateCounterDriftFails(t *testing.T) {
+	cand := gateSnap()
+	b := cand.Benches["Speed"]
+	c := *b.Counters
+	c.BlockMisses++
+	b.Counters = &c
+	cand.Benches["Speed"] = b
+	r := Gate(gateSnap(), cand, GatePolicy{})
+	if r.Pass() {
+		t.Fatalf("deterministic counter drift passed:\n%s", r.Format(true))
+	}
+	if !strings.Contains(r.Format(false), "counters.block_misses") {
+		t.Fatalf("failure does not name the drifted counter:\n%s", r.Format(false))
+	}
+}
+
+func TestGateStallDriftIsAdvisory(t *testing.T) {
+	cand := gateSnap()
+	b := cand.Benches["Speed"]
+	c := *b.Counters
+	c.PipelineStalls += 100
+	b.Counters = &c
+	cand.Benches["Speed"] = b
+	r := Gate(gateSnap(), cand, GatePolicy{})
+	if !r.Pass() {
+		t.Fatalf("stall drift must not hard-fail:\n%s", r.Format(true))
+	}
+	if r.Advisories == 0 {
+		t.Fatal("stall drift should still be reported as an advisory")
+	}
+}
+
+func TestGateMetricDriftFails(t *testing.T) {
+	cand := gateSnap()
+	b := cand.Benches["Speed"]
+	b.Metrics = map[string]float64{"guest-MIPS": 12.5, "SBM%": 95.3}
+	cand.Benches["Speed"] = b
+	if r := Gate(gateSnap(), cand, GatePolicy{}); r.Pass() {
+		t.Fatalf("Stats-derived metric drift passed:\n%s", r.Format(true))
+	}
+}
+
+func TestGateWallDerivedMetricsIgnored(t *testing.T) {
+	cand := gateSnap()
+	b := cand.Benches["Speed"]
+	b.Metrics = map[string]float64{"guest-MIPS": 9.1, "SBM%": 95.2}
+	cand.Benches["Speed"] = b
+	if r := Gate(gateSnap(), cand, GatePolicy{}); !r.Pass() {
+		t.Fatalf("MIPS drift is machine weather, must not fail:\n%s", r.Format(true))
+	}
+}
+
+func TestGateAllocTolerance(t *testing.T) {
+	grow := func(frac float64) *GateResult {
+		cand := gateSnap()
+		b := cand.Benches["Speed"]
+		b.AllocsPerOp *= 1 + frac
+		cand.Benches["Speed"] = b
+		return Gate(gateSnap(), cand, GatePolicy{})
+	}
+	if r := grow(0.005); !r.Pass() {
+		t.Fatalf("0.5%% alloc growth within the 1%% tolerance failed:\n%s", r.Format(true))
+	}
+	if r := grow(0.02); r.Pass() {
+		t.Fatalf("2%% alloc growth passed the 1%% tolerance:\n%s", r.Format(true))
+	}
+	if r := grow(-0.10); !r.Pass() {
+		t.Fatalf("alloc improvement must never fail:\n%s", r.Format(true))
+	}
+}
+
+func TestGateWallAdvisoryAndStrict(t *testing.T) {
+	cand := gateSnap()
+	b := cand.Benches["Speed"]
+	b.NsPerOp *= 2
+	cand.Benches["Speed"] = b
+	r := Gate(gateSnap(), cand, GatePolicy{})
+	if !r.Pass() {
+		t.Fatalf("2x wall must be advisory by default:\n%s", r.Format(true))
+	}
+	if r.Advisories == 0 {
+		t.Fatal("2x wall should be reported")
+	}
+	if r := Gate(gateSnap(), cand, GatePolicy{StrictWall: true}); r.Pass() {
+		t.Fatalf("StrictWall: 2x wall must hard-fail:\n%s", r.Format(true))
+	}
+}
+
+func TestGateSharedCostRowsSkipCostSignals(t *testing.T) {
+	// The fig row shares the campaign's measurement; even wildly
+	// different (stale) cost values on the candidate row must not
+	// produce cost checks — only the campaign row is gated on cost.
+	cand := gateSnap()
+	b := cand.Benches["Fig"]
+	b.NsPerOp, b.AllocsPerOp = 9e12, 9e12
+	cand.Benches["Fig"] = b
+	r := Gate(gateSnap(), cand, GatePolicy{})
+	if !r.Pass() {
+		t.Fatalf("shared-cost row was gated on cost:\n%s", r.Format(true))
+	}
+	for _, c := range r.Checks {
+		if c.Bench == "Fig" && (c.Signal == "ns_per_op" || c.Signal == "allocs_per_op") {
+			t.Fatalf("cost check emitted for shared row: %+v", c)
+		}
+	}
+}
+
+func TestGateScaleMismatchFails(t *testing.T) {
+	cand := gateSnap()
+	cand.Scale = 0.25
+	r := Gate(gateSnap(), cand, GatePolicy{})
+	if r.Pass() {
+		t.Fatal("snapshots at different scales compared")
+	}
+	if len(r.Checks) != 1 || r.Checks[0].Signal != "scale" {
+		t.Fatalf("scale mismatch should short-circuit: %+v", r.Checks)
+	}
+}
+
+func TestGateMissingBenchFails(t *testing.T) {
+	cand := gateSnap()
+	delete(cand.Benches, "Speed")
+	if r := Gate(gateSnap(), cand, GatePolicy{}); r.Pass() {
+		t.Fatal("coverage regression (missing bench) passed")
+	}
+	// New coverage on the candidate side is fine.
+	cand = gateSnap()
+	cand.Benches["Brand New"] = Bench{NsPerOp: 1}
+	if r := Gate(gateSnap(), cand, GatePolicy{}); !r.Pass() {
+		t.Fatalf("new candidate-only bench failed the gate:\n%s", r.Format(true))
+	}
+}
+
+// TestGateHeadVsCommittedBaseline is the in-repo version of the CI
+// perf job: the latest two committed goldens gate cleanly against each
+// other on deterministic signals... except where a real drift was
+// committed. BENCH_3→BENCH_4 added a bench, which is new coverage and
+// must pass in the forward direction.
+func TestGateCommittedGoldens(t *testing.T) {
+	b3, err := ReadSnapshot("../BENCH_3.json")
+	if err != nil {
+		t.Skipf("goldens unavailable: %v", err)
+	}
+	b4, err := ReadSnapshot("../BENCH_4.json")
+	if err != nil {
+		t.Skipf("goldens unavailable: %v", err)
+	}
+	r := Gate(b3, b4, GatePolicy{})
+	// Schema-1 goldens carry no counters and their shared fig rows are
+	// normalized, so only measured rows' metrics/allocs are compared.
+	if !r.Pass() {
+		t.Fatalf("BENCH_3 → BENCH_4 should gate clean:\n%s", r.Format(true))
+	}
+}

@@ -1,0 +1,73 @@
+package perf
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the sample median (0 on an empty sample). The input
+// is not modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation from the median — the
+// robust spread estimate the A/B summaries report (a single GC pause
+// in one repetition should not widen the reported noise).
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return Median(dev)
+}
+
+// SignTest returns the two-sided exact binomial p-value for observing
+// a pos/neg split of paired differences under the null hypothesis that
+// either sign is equally likely. Ties are excluded by the caller.
+// Zero trials return 1 (no evidence).
+func SignTest(pos, neg int) float64 {
+	n := pos + neg
+	if n == 0 {
+		return 1
+	}
+	k := pos
+	if neg < k {
+		k = neg
+	}
+	var p float64
+	for i := 0; i <= k; i++ {
+		p += binomPMF(n, i)
+	}
+	p *= 2
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// binomPMF is C(n,k) / 2^n computed in log space so n up to a few
+// thousand repetitions stays exact enough.
+func binomPMF(n, k int) float64 {
+	return math.Exp(lchoose(n, k) - float64(n)*math.Ln2)
+}
+
+func lchoose(n, k int) float64 {
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}
